@@ -1,0 +1,69 @@
+// Shared helpers for the benchmark binaries. Each bench regenerates one
+// figure/table of the paper (see DESIGN.md §4 and EXPERIMENTS.md).
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/stats/table.h"
+#include "src/workload/generator.h"
+
+namespace lauberhorn {
+
+inline std::string Us(Duration d) { return Table::Num(ToMicroseconds(d), 2); }
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n\n", id.c_str(), title.c_str());
+}
+
+// Benches accept --csv to additionally dump machine-readable rows (for
+// plotting scripts). Call once from main with argc/argv, then pass the
+// result to PrintTable.
+inline bool WantCsv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline void PrintTable(const Table& table, bool csv) {
+  table.Print();
+  if (csv) {
+    std::printf("\n--- csv ---\n%s", table.ToCsv().c_str());
+  }
+}
+
+// Builds a machine with one echo service and runs a closed-loop warm-up so
+// steady-state measurements exclude cold-start effects.
+struct EchoSetup {
+  std::unique_ptr<Machine> machine;
+  const ServiceDef* echo = nullptr;
+
+  static EchoSetup Make(StackKind stack, PlatformSpec platform, int cores = 8,
+                        Duration service_time = Nanoseconds(0), int max_cores = 1) {
+    EchoSetup setup;
+    MachineConfig config;
+    config.stack = stack;
+    config.platform = std::move(platform);
+    config.num_cores = cores;
+    config.nic_queues = stack == StackKind::kBypass ? 4 : 2;
+    setup.machine = std::make_unique<Machine>(std::move(config));
+    setup.echo = &setup.machine->AddService(
+        ServiceRegistry::MakeEchoService(1, 7000, service_time), max_cores);
+    setup.machine->Start();
+    if (stack == StackKind::kLauberhorn) {
+      setup.machine->StartHotLoop(*setup.echo);
+    }
+    setup.machine->sim().RunUntil(Milliseconds(1));
+    return setup;
+  }
+};
+
+}  // namespace lauberhorn
+
+#endif  // BENCH_COMMON_H_

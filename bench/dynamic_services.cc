@@ -1,0 +1,101 @@
+// DYN — §4: "this efficiency is preserved when executing dynamic workloads
+// where statically associating DMA queues, cores, threads, and sockets is not
+// practical" — i.e. many more endpoints than cores.
+//
+// Sweep the number of services (Zipf-popular, skew 1.0) on an 8-core machine
+// at a fixed total offered load and compare throughput and tail latency of
+// the three stacks. Bypass binds flows to queues/cores statically; Lauberhorn
+// shares cores via NIC-driven scheduling; Linux pays the kernel on every
+// request.
+#include "bench/common.h"
+
+namespace lauberhorn {
+namespace {
+
+struct Cell {
+  uint64_t completed = 0;
+  Duration p50 = 0;
+  Duration p99 = 0;
+};
+
+Cell Measure(StackKind stack, int num_services, double rate_rps) {
+  MachineConfig config;
+  config.stack = stack;
+  config.platform = PlatformSpec::EnzianEci();
+  config.num_cores = 8;
+  config.nic_queues = stack == StackKind::kBypass ? 8 : 4;
+  // Popular services may occupy several cores (several endpoints); the tail
+  // shares what is left via the cold path.
+  const int max_cores_per_service = num_services <= 16 ? 4 : 2;
+  config.lauberhorn_endpoints =
+      static_cast<size_t>(num_services * max_cores_per_service) + 8;
+  config.linux_stack.worker_threads_per_service = 4;
+  Machine machine(config);
+
+  std::vector<WorkloadTarget> targets;
+  std::vector<const ServiceDef*> services;
+  for (int i = 0; i < num_services; ++i) {
+    const ServiceDef& service = machine.AddService(
+        ServiceRegistry::MakeEchoService(static_cast<uint32_t>(i + 1),
+                                         static_cast<uint16_t>(7000 + i),
+                                         Microseconds(20)),
+        stack == StackKind::kLauberhorn ? max_cores_per_service : 1);
+    services.push_back(&service);
+    targets.push_back({&service, 0, 64, 1.0});
+  }
+  machine.Start();
+  if (stack == StackKind::kLauberhorn) {
+    // Hot-start as many of the most popular services as cores allow; the rest
+    // arrive cold and are scheduled on demand (the point of the experiment).
+    const int hot = std::min(num_services, 6);
+    for (int i = 0; i < hot; ++i) {
+      machine.StartHotLoop(*services[static_cast<size_t>(i)]);
+    }
+  }
+  machine.sim().RunUntil(Milliseconds(1));
+  machine.ResetMeasurement();
+
+  OpenLoopGenerator::Config generator_config;
+  generator_config.rate_rps = rate_rps;
+  generator_config.zipf_skew = 1.0;
+  generator_config.stop = machine.sim().Now() + Milliseconds(200);
+  OpenLoopGenerator generator(machine.sim(), machine.client(), targets,
+                              generator_config);
+  generator.Start();
+  machine.sim().RunUntil(machine.sim().Now() + Milliseconds(220));
+
+  Cell cell;
+  cell.completed = generator.completed();
+  cell.p50 = generator.rtt().P50();
+  cell.p99 = generator.rtt().P99();
+  return cell;
+}
+
+}  // namespace
+}  // namespace lauberhorn
+
+int main(int argc, char** argv) {
+  const bool csv = lauberhorn::WantCsv(argc, argv);
+  using namespace lauberhorn;
+  constexpr double kRate = 100000.0;
+  PrintHeader("DYN", "services >> cores: 8 cores, Zipf(1.0), 100 krps, 20us handlers");
+
+  Table table({"services", "stack", "completed (of ~20000)", "RTT p50 (us)",
+               "RTT p99 (us)"});
+  for (int services : {4, 16, 64, 256}) {
+    for (StackKind stack :
+         {StackKind::kLinux, StackKind::kBypass, StackKind::kLauberhorn}) {
+      const Cell cell = Measure(stack, services, kRate);
+      table.AddRow({Table::Int(services), ToString(stack),
+                    Table::Int(static_cast<int64_t>(cell.completed)), Us(cell.p50),
+                    Us(cell.p99)});
+    }
+  }
+  PrintTable(table, csv);
+
+  std::printf("\nPaper claim (§4): with few services everyone does well (bypass included);\n"
+              "as endpoints exceed cores, static binding loses (head-of-line blocking on\n"
+              "queues) while Lauberhorn keeps dispatching any service to any core with\n"
+              "the NIC tracking OS scheduling state.\n");
+  return 0;
+}

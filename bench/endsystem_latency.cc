@@ -1,0 +1,100 @@
+// TBL-END — the paper's central quantitative claim (§1, §4): for small RPCs,
+// Lauberhorn's end-system latency and per-RPC CPU cost beat the fastest
+// kernel-bypass configuration and dwarf the kernel stack, while the cold
+// (kernel-mediated) path stays well under the Linux baseline.
+//
+// Method: unloaded closed-loop echo (64 B payload, zero service time) on each
+// stack; end-system latency = request-on-wire to response-on-wire at the
+// server NIC; cycles/RPC = total busy CPU cycles / completed RPCs.
+#include "bench/common.h"
+
+namespace lauberhorn {
+namespace {
+
+struct Row {
+  std::string name;
+  Duration p50 = 0;
+  Duration p99 = 0;
+  double cycles = 0;
+  Duration rtt = 0;
+};
+
+Row MeasureStack(StackKind stack, bool hot) {
+  EchoSetup setup = EchoSetup::Make(stack, PlatformSpec::EnzianEci());
+  Machine& machine = *setup.machine;
+
+  if (stack == StackKind::kLauberhorn && !hot) {
+    // Cold measurement: retire the loop before every request below.
+  }
+
+  // 200 closed-loop requests.
+  machine.ResetMeasurement();
+  ClosedLoopGenerator::Config generator_config;
+  generator_config.concurrency = 1;
+  generator_config.max_requests = 200;
+  // For the cold path, space requests out and deschedule between them so each
+  // one takes the kernel-channel route.
+  if (stack == StackKind::kLauberhorn && !hot) {
+    generator_config.think_time = Microseconds(300);
+  }
+  std::vector<WorkloadTarget> targets = {{setup.echo, 0, 64, 1.0}};
+  ClosedLoopGenerator generator(machine.sim(), machine.client(), targets,
+                                generator_config);
+  bool retiring = stack == StackKind::kLauberhorn && !hot;
+  if (retiring) {
+    // Aggressive policy: give the core back as soon as the endpoint idles, so
+    // every request takes the cold (kernel-channel) path.
+    const auto endpoints = machine.EndpointsOf(*setup.echo);
+    auto retire = std::make_shared<std::function<void()>>();
+    *retire = [&machine, endpoints, retire]() {
+      for (uint32_t ep : endpoints) {
+        machine.lauberhorn_runtime()->Deschedule(ep);
+      }
+      machine.sim().Schedule(Microseconds(150), *retire);
+    };
+    machine.sim().Schedule(Microseconds(100), *retire);
+  }
+  bool finished = false;
+  generator.on_finished = [&finished]() { finished = true; };
+  generator.Start();
+  const SimTime deadline = machine.sim().Now() + Seconds(2);
+  while (!finished && machine.sim().Now() < deadline) {
+    machine.sim().RunUntil(machine.sim().Now() + Milliseconds(1));
+  }
+
+  Row row;
+  row.p50 = machine.end_system_latency().P50();
+  row.p99 = machine.end_system_latency().P99();
+  row.cycles = machine.CyclesPerRpc();
+  row.rtt = generator.rtt().P50();
+  return row;
+}
+
+}  // namespace
+}  // namespace lauberhorn
+
+int main(int argc, char** argv) {
+  const bool csv = lauberhorn::WantCsv(argc, argv);
+  using namespace lauberhorn;
+  PrintHeader("TBL-END",
+              "end-system latency and CPU cost per 64B RPC (Enzian platform)");
+
+  Table table({"stack", "end-sys p50 (us)", "end-sys p99 (us)", "cycles/RPC",
+               "client RTT p50 (us)"});
+  auto add = [&](const std::string& name, Row row) {
+    table.AddRow({name, Us(row.p50), Us(row.p99), Table::Int(static_cast<int64_t>(row.cycles)),
+                  Us(row.rtt)});
+  };
+  add("linux (Fig.1 + kernel stack)", MeasureStack(StackKind::kLinux, true));
+  add("kernel-bypass (spin-poll)", MeasureStack(StackKind::kBypass, true));
+  add("lauberhorn (hot path)", MeasureStack(StackKind::kLauberhorn, true));
+  add("lauberhorn (cold, via kernel)", MeasureStack(StackKind::kLauberhorn, false));
+  PrintTable(table, csv);
+
+  std::printf("\nPaper claim (§4): hot-path RPC dispatch executes every step of §2 on the\n"
+              "NIC — the stalled load returns code pointer + arguments, so software\n"
+              "overhead (and cycles/RPC) collapses below even kernel bypass. The cold\n"
+              "path pays one kernel-channel dispatch + context switch, still far below\n"
+              "the traditional stack.\n");
+  return 0;
+}

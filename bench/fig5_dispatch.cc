@@ -1,0 +1,109 @@
+// FIG5 — Figure 5: the traditional task-scheduling dispatch loop vs
+// NIC-driven scheduling of RPC isolation domains.
+//
+// Left side of the figure (Linux): every request crosses IRQ -> softirq ->
+// socket -> scheduler -> process; the table decomposes the modelled cost of
+// each §2 step. Right side (Lauberhorn): the NIC performs steps 1-3, 5-7, 10
+// and 11 in hardware; a stalled load returns the jump target, so the only
+// software on the path is the handler itself. A kernel-channel cold dispatch
+// (Fig. 5 (2)->(1)) is shown as the transition case.
+//
+// The decomposition rows restate the cost-model parameters the simulator
+// charges; the measured totals at the bottom come from running each stack,
+// confirming the model adds up.
+#include "bench/common.h"
+
+namespace lauberhorn {
+namespace {
+
+Duration MeasureEndSystem(StackKind stack, bool hot) {
+  EchoSetup setup = EchoSetup::Make(stack, PlatformSpec::EnzianEci());
+  Machine& machine = *setup.machine;
+  machine.ResetMeasurement();
+
+  int done = 0;
+  std::vector<uint8_t> payload(64, 7);
+  for (int i = 0; i < 50; ++i) {
+    machine.sim().Schedule(Microseconds(200) * i, [&machine, &setup, &payload, &done,
+                                                   stack, hot]() {
+      if (stack == StackKind::kLauberhorn && !hot) {
+        for (uint32_t ep : machine.EndpointsOf(*setup.echo)) {
+          machine.lauberhorn_runtime()->Deschedule(ep);
+        }
+      }
+      machine.client().Call(*setup.echo, 0,
+                            std::vector<WireValue>{WireValue::Bytes(payload)},
+                            [&done](const RpcMessage&, Duration) { ++done; });
+    });
+  }
+  machine.sim().RunUntil(machine.sim().Now() + Milliseconds(100));
+  return machine.end_system_latency().P50();
+}
+
+}  // namespace
+}  // namespace lauberhorn
+
+int main(int argc, char** argv) {
+  const bool csv = lauberhorn::WantCsv(argc, argv);
+  using namespace lauberhorn;
+  const PlatformSpec platform = PlatformSpec::EnzianEci();
+  const OsCostModel& os = platform.os;
+  const NicPipelineCosts& pipeline = platform.pipeline;
+  const Duration hop = platform.coherence.cpu_device_hop;
+
+  PrintHeader("FIG5", "dispatch-loop decomposition: traditional vs NIC-driven");
+
+  Table table({"step (section 2)", "linux", "lauberhorn hot", "lauberhorn cold"});
+  auto row = [&](const std::string& step, Duration linux_cost, Duration hot,
+                 Duration cold) {
+    auto cell = [](Duration d) {
+      return d == 0 ? std::string("NIC/—") : Us(d) + "us";
+    };
+    table.AddRow({step, cell(linux_cost), cell(hot), cell(cold)});
+  };
+
+  // Steps 1-3: read packet, protocol processing, demux. The DMA NIC does
+  // 1-3 in hardware too, but redoes protocol work in software (step 5).
+  const Duration nic_front = pipeline.mac_rx + 3 * pipeline.parse_per_header;
+  row("1-3 packet rx+parse+demux (hw)", nic_front + pipeline.rss_hash,
+      nic_front + pipeline.demux_lookup, nic_front + pipeline.demux_lookup);
+  // Step 4: interrupt.
+  row("4  interrupt core", platform.pcie.msix_latency + os.irq_entry + os.irq_top_half,
+      0, 0);
+  // Step 5: kernel protocol processing (softirq).
+  row("5  kernel protocol processing",
+      os.softirq_entry + os.driver_rx_per_packet + os.protocol_processing, 0, 0);
+  // Step 6: identify process (socket lookup / endpoint table).
+  row("6  identify process", os.socket_lookup, pipeline.dispatch_decide,
+      pipeline.dispatch_decide);
+  // Steps 7-8: find core + schedule.
+  row("7-8 find core + schedule", os.socket_wakeup + os.sched_pick, 0,
+      os.ipi + os.sched_pick);
+  // Step 9: context switch.
+  row("9  context switch", os.context_switch, 0, os.context_switch);
+  // Step 10: unmarshal.
+  row("10 unmarshal args",
+      os.syscall + os.socket_syscall_path + os.CopyCost(64) + os.SwMarshalCost(64),
+      pipeline.UnmarshalCost(64), pipeline.UnmarshalCost(64));
+  // Steps 11-12: find + jump to function.
+  row("11-12 find + jump to function", Nanoseconds(100), Nanoseconds(20),
+      Nanoseconds(20));
+  // Delivery to the core.
+  row("deliver args to registers", 0, hop + platform.coherence.data_beat,
+      hop + platform.coherence.data_beat);
+
+  PrintTable(table, csv);
+
+  std::printf("\nmeasured end-system p50 (64B echo, unloaded):\n");
+  Table measured({"stack", "end-system p50 (us)"});
+  measured.AddRow({"linux", Us(MeasureEndSystem(StackKind::kLinux, true))});
+  measured.AddRow({"lauberhorn hot", Us(MeasureEndSystem(StackKind::kLauberhorn, true))});
+  measured.AddRow(
+      {"lauberhorn cold", Us(MeasureEndSystem(StackKind::kLauberhorn, false))});
+  PrintTable(measured, csv);
+
+  std::printf("\nFig. 5's point: the left loop pays steps 4-9 in software per request;\n"
+              "NIC-driven scheduling pays them only on the cold transition (2)->(1),\n"
+              "after which the user-mode loop (1) dispatches with ~zero software cost.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// MICRO — google-benchmark microbenchmarks of the substrate hot paths:
+// marshalling, framing, checksums, the event queue, histograms, and the
+// model checker. These gate the simulator's own performance (a simulated
+// second at 100 krps is ~10^6 events).
+#include <benchmark/benchmark.h>
+
+#include "src/model/lauberhorn_spec.h"
+#include "src/net/headers.h"
+#include "src/proto/marshal.h"
+#include "src/proto/rpc_message.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+
+namespace lauberhorn {
+namespace {
+
+void BM_MarshalArgs(benchmark::State& state) {
+  MethodSignature sig{{WireType::kU64, WireType::kBytes}};
+  std::vector<WireValue> args = {
+      WireValue::U64(42),
+      WireValue::Bytes(std::vector<uint8_t>(static_cast<size_t>(state.range(0)), 7))};
+  for (auto _ : state) {
+    std::vector<uint8_t> out;
+    MarshalArgs(sig, args, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * (state.range(0) + 8));
+}
+BENCHMARK(BM_MarshalArgs)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_UnmarshalArgs(benchmark::State& state) {
+  MethodSignature sig{{WireType::kU64, WireType::kBytes}};
+  std::vector<WireValue> args = {
+      WireValue::U64(42),
+      WireValue::Bytes(std::vector<uint8_t>(static_cast<size_t>(state.range(0)), 7))};
+  std::vector<uint8_t> wire;
+  MarshalArgs(sig, args, wire);
+  for (auto _ : state) {
+    std::vector<WireValue> out;
+    UnmarshalArgs(sig, wire, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_UnmarshalArgs)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_BuildUdpFrame(benchmark::State& state) {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  ip.src = MakeIpv4(10, 0, 0, 1);
+  ip.dst = MakeIpv4(10, 0, 0, 2);
+  UdpHeader udp;
+  udp.src_port = 1;
+  udp.dst_port = 2;
+  std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    Packet p = BuildUdpFrame(eth, ip, udp, payload);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildUdpFrame)->Arg(64)->Arg(1472);
+
+void BM_ParseUdpFrame(benchmark::State& state) {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  ip.src = MakeIpv4(10, 0, 0, 1);
+  ip.dst = MakeIpv4(10, 0, 0, 2);
+  UdpHeader udp;
+  const Packet p = BuildUdpFrame(eth, ip, udp,
+                                 std::vector<uint8_t>(static_cast<size_t>(state.range(0)), 9));
+  for (auto _ : state) {
+    auto frame = ParseUdpFrame(p);
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(p.size()));
+}
+BENCHMARK(BM_ParseUdpFrame)->Arg(64)->Arg(1472);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InternetChecksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1500)->Arg(65536);
+
+void BM_SimulatorScheduleStep(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(Nanoseconds(i), [] {});
+    }
+    sim.RunUntilIdle();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleStep);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Record(static_cast<Duration>(rng.UniformInt(1, 100000000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(static_cast<size_t>(state.range(0)), 1.0);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(16)->Arg(1024);
+
+void BM_ModelCheckProtocol(benchmark::State& state) {
+  for (auto _ : state) {
+    SpecConfig config;
+    config.num_requests = static_cast<int>(state.range(0));
+    ProtoChecker checker;
+    ProtoChecker::Options options;
+    options.is_terminal_ok = LauberhornTerminalOk;
+    options.goal = LauberhornGoal;
+    auto result = checker.Check(LauberhornInitialState(config.num_requests),
+                                LauberhornSuccessors(config), LauberhornInvariants(),
+                                options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ModelCheckProtocol)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace lauberhorn
+
+BENCHMARK_MAIN();

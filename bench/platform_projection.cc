@@ -1,0 +1,65 @@
+// PROJ — §4: "we anticipate comparable gains with CXL 3.0." Runs the full
+// Lauberhorn hot path end to end on each platform cost model: the Enzian
+// prototype, a modern PCIe server given a coherent device port, and the
+// CXL.mem-3.0 projection — against each platform's own Linux baseline.
+#include "bench/common.h"
+
+namespace lauberhorn {
+namespace {
+
+struct Row {
+  Duration lauberhorn = 0;
+  Duration linux_stack = 0;
+  double cycles = 0;
+};
+
+Row Measure(const PlatformSpec& platform) {
+  Row row;
+  for (StackKind stack : {StackKind::kLauberhorn, StackKind::kLinux}) {
+    EchoSetup setup = EchoSetup::Make(stack, platform, /*cores=*/4);
+    Machine& machine = *setup.machine;
+    machine.ResetMeasurement();
+    std::vector<uint8_t> body(64, 9);
+    for (int i = 0; i < 50; ++i) {
+      machine.sim().Schedule(Microseconds(100) * i, [&machine, &setup, &body]() {
+        machine.client().Call(*setup.echo, 0,
+                              std::vector<WireValue>{WireValue::Bytes(body)});
+      });
+    }
+    machine.sim().RunUntil(machine.sim().Now() + Milliseconds(50));
+    if (stack == StackKind::kLauberhorn) {
+      row.lauberhorn = machine.end_system_latency().P50();
+      row.cycles = machine.CyclesPerRpc();
+    } else {
+      row.linux_stack = machine.end_system_latency().P50();
+    }
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace lauberhorn
+
+int main(int argc, char** argv) {
+  const bool csv = lauberhorn::WantCsv(argc, argv);
+  using namespace lauberhorn;
+  PrintHeader("PROJ", "Lauberhorn across interconnect generations (64B echo, hot)");
+
+  Table table({"platform", "lauberhorn end-sys p50 (us)", "linux end-sys p50 (us)",
+               "speedup", "lauberhorn cycles/RPC"});
+  for (const PlatformSpec& platform :
+       {PlatformSpec::EnzianEci(), PlatformSpec::ModernPcPcie(),
+        PlatformSpec::Cxl3Projection()}) {
+    const Row row = Measure(platform);
+    table.AddRow({platform.name, Us(row.lauberhorn), Us(row.linux_stack),
+                  Table::Num(static_cast<double>(row.linux_stack) /
+                                 static_cast<double>(row.lauberhorn), 1) + "x",
+                  Table::Int(static_cast<int64_t>(row.cycles))});
+  }
+  PrintTable(table, csv);
+
+  std::printf("\nPaper claim (§4): the gains are not Enzian-specific — faster coherent\n"
+              "interconnects (CXL.mem 3.0 class) widen the advantage, because the\n"
+              "dispatch cost is dominated by device hops the new fabrics shrink.\n");
+  return 0;
+}

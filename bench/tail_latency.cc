@@ -1,0 +1,75 @@
+// TAIL — §4's robustness claim: latency-vs-throughput behaviour under
+// increasing offered load, per stack (echo, 2 us service time, 8 cores).
+#include "bench/common.h"
+
+namespace lauberhorn {
+namespace {
+
+struct Cell {
+  uint64_t completed = 0;
+  Duration p50 = 0;
+  Duration p99 = 0;
+  Duration p999 = 0;
+};
+
+Cell Measure(StackKind stack, double rate_rps) {
+  MachineConfig config;
+  config.stack = stack;
+  config.platform = PlatformSpec::EnzianEci();
+  config.num_cores = 8;
+  config.nic_queues = stack == StackKind::kBypass ? 8 : 4;
+  config.linux_stack.worker_threads_per_service = 4;
+  Machine machine(config);
+  const ServiceDef& echo =
+      machine.AddService(ServiceRegistry::MakeEchoService(1, 7000, Microseconds(2)),
+                         /*max_cores=*/stack == StackKind::kLauberhorn ? 6 : 1);
+  machine.Start();
+  if (stack == StackKind::kLauberhorn) {
+    machine.StartHotLoop(echo);
+  }
+  machine.sim().RunUntil(Milliseconds(1));
+  machine.ResetMeasurement();
+
+  OpenLoopGenerator::Config generator_config;
+  generator_config.rate_rps = rate_rps;
+  generator_config.stop = machine.sim().Now() + Milliseconds(200);
+  std::vector<WorkloadTarget> targets = {{&echo, 0, 64, 1.0}};
+  OpenLoopGenerator generator(machine.sim(), machine.client(), targets,
+                              generator_config);
+  generator.Start();
+  machine.sim().RunUntil(machine.sim().Now() + Milliseconds(230));
+
+  Cell cell;
+  cell.completed = generator.completed();
+  cell.p50 = generator.rtt().P50();
+  cell.p99 = generator.rtt().P99();
+  cell.p999 = generator.rtt().Percentile(0.999);
+  return cell;
+}
+
+}  // namespace
+}  // namespace lauberhorn
+
+int main(int argc, char** argv) {
+  const bool csv = lauberhorn::WantCsv(argc, argv);
+  using namespace lauberhorn;
+  PrintHeader("TAIL", "latency vs offered load (echo, 2us service, 8 cores, 200ms window)");
+
+  Table table({"offered (krps)", "stack", "completed", "p50 (us)", "p99 (us)",
+               "p99.9 (us)"});
+  for (double rate : {25000.0, 50000.0, 100000.0, 200000.0, 400000.0}) {
+    for (StackKind stack :
+         {StackKind::kLinux, StackKind::kBypass, StackKind::kLauberhorn}) {
+      const Cell cell = Measure(stack, rate);
+      table.AddRow({Table::Num(rate / 1000.0, 0), ToString(stack),
+                    Table::Int(static_cast<int64_t>(cell.completed)), Us(cell.p50),
+                    Us(cell.p99), Us(cell.p999)});
+    }
+  }
+  PrintTable(table, csv);
+
+  std::printf("\nExpected shape: Lauberhorn holds the lowest latency until cores saturate;\n"
+              "bypass tracks it closely at low-to-mid load; the kernel stack saturates\n"
+              "earliest with the steepest tail growth.\n");
+  return 0;
+}

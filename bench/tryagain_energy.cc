@@ -1,0 +1,80 @@
+// ENERGY — §5.1: "reducing the polling overhead (both bus traffic and CPU
+// spinning) to almost zero and improving energy efficiency."
+//
+// Compare a kernel-bypass spin core against a Lauberhorn core parked on a
+// blocking load (with 15 ms TRYAGAIN fills), across idle and trickle loads.
+// Reported: busy CPU time per wall second (spin included — the energy proxy)
+// and coherence/PCIe interaction events.
+#include "bench/common.h"
+
+namespace lauberhorn {
+namespace {
+
+struct Cell {
+  double busy_frac = 0;        // busy CPU time / wall time (energy proxy)
+  double interactions_per_s = 0;  // device interaction messages per second
+  uint64_t completed = 0;
+};
+
+Cell Measure(StackKind stack, double rate_rps) {
+  EchoSetup setup = EchoSetup::Make(stack, PlatformSpec::EnzianEci(), /*cores=*/4);
+  Machine& machine = *setup.machine;
+  machine.ResetMeasurement();
+  machine.interconnect().ResetStats();
+  const Duration window = Milliseconds(200);
+  const SimTime start = machine.sim().Now();
+  const Duration busy_before = machine.TotalBusyTime();
+
+  std::unique_ptr<OpenLoopGenerator> generator;
+  if (rate_rps > 0) {
+    OpenLoopGenerator::Config config;
+    config.rate_rps = rate_rps;
+    config.stop = start + window;
+    std::vector<WorkloadTarget> targets = {{setup.echo, 0, 64, 1.0}};
+    generator = std::make_unique<OpenLoopGenerator>(machine.sim(), machine.client(),
+                                                    targets, config);
+    generator->Start();
+  }
+  machine.sim().RunUntil(start + window);
+
+  Cell cell;
+  const double wall = ToSeconds(window);
+  cell.busy_frac = ToSeconds(machine.TotalBusyTime() - busy_before) / wall;
+  // Device interactions: coherence messages (Lauberhorn) plus PCIe MMIO
+  // operations (the DMA NIC's doorbells). Bypass spinning itself produces no
+  // bus traffic — it burns CPU instead, which is the busy-cores column.
+  const uint64_t interactions = machine.interconnect().stats().TotalMessages() +
+                                machine.pcie().mmio_reads() +
+                                machine.pcie().mmio_writes();
+  cell.interactions_per_s = static_cast<double>(interactions) / wall;
+  cell.completed = generator ? generator->completed() : 0;
+  return cell;
+}
+
+}  // namespace
+}  // namespace lauberhorn
+
+int main(int argc, char** argv) {
+  const bool csv = lauberhorn::WantCsv(argc, argv);
+  using namespace lauberhorn;
+  PrintHeader("ENERGY",
+              "polling overhead: spin-poll vs blocked load + TRYAGAIN (4 cores)");
+
+  Table table({"stack", "offered load", "busy cores (of 4)", "device msgs/s",
+               "completed"});
+  for (double rate : {0.0, 1000.0, 10000.0, 100000.0}) {
+    for (StackKind stack : {StackKind::kBypass, StackKind::kLauberhorn}) {
+      const Cell cell = Measure(stack, rate);
+      table.AddRow({ToString(stack),
+                    rate == 0 ? std::string("idle") : Table::Num(rate, 0) + " rps",
+                    Table::Num(cell.busy_frac, 3), Table::Num(cell.interactions_per_s, 0),
+                    Table::Int(static_cast<int64_t>(cell.completed))});
+    }
+  }
+  PrintTable(table, csv);
+
+  std::printf("\nPaper claim (§5.1): a stalled load costs two coherence messages per\n"
+              "15 ms TRYAGAIN interval — effectively zero cycles and bus traffic —\n"
+              "while bypass burns its dedicated cores regardless of load.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// The coherent interconnect: routes protocol messages between cache agents
+// and home agents with configurable hop latencies, maintains a directory of
+// line ownership, and enforces the platform bus timeout on deferred fills.
+#ifndef SRC_COHERENCE_INTERCONNECT_H_
+#define SRC_COHERENCE_INTERCONNECT_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/coherence/coherence.h"
+#include "src/sim/simulator.h"
+
+namespace lauberhorn {
+
+class CacheAgent;
+
+class CoherentInterconnect {
+ public:
+  CoherentInterconnect(Simulator& sim, CoherenceConfig config);
+
+  const CoherenceConfig& config() const { return config_; }
+  Simulator& sim() { return sim_; }
+
+  // -- Topology ---------------------------------------------------------
+
+  // Registers a CPU-side cache agent.
+  AgentId RegisterCacheAgent(CacheAgent* agent);
+
+  // Registers a home agent for [base, base + size). `is_device` selects the
+  // cpu_device_hop latency (peripheral interconnect) vs cpu_mem_hop.
+  AgentId RegisterHomeAgent(HomeAgent* agent, LineAddr base, uint64_t size,
+                            bool is_device);
+
+  // Home agent for an address, or kNoAgent.
+  AgentId HomeOf(LineAddr addr) const;
+  LineAddr AlignToLine(uint64_t addr) const {
+    return addr & ~static_cast<LineAddr>(config_.line_size - 1);
+  }
+
+  // -- Cache-agent-initiated traffic (called by CacheAgent) --------------
+
+  // Read request to the home of `addr`. `on_fill` runs at the requester once
+  // the fill message arrives back. With `install` false the requester gets
+  // the data without becoming a sharer/owner (non-caching load).
+  void SendRead(AgentId requester, LineAddr addr, bool exclusive, FillFn on_fill,
+                bool install = true);
+
+  // Dirty eviction.
+  void SendWriteBack(AgentId from, LineAddr addr, LineData data);
+
+  // Posted uncached write (device signalling). Completes at the home after
+  // one hop; no response message.
+  void SendUncachedWrite(AgentId from, LineAddr addr, size_t offset,
+                         std::vector<uint8_t> data);
+
+  // -- Home-agent-initiated traffic --------------------------------------
+
+  // Fetches the current contents of `addr` on behalf of its home and
+  // invalidates all cached copies. If a cache holds it Modified, the dirty
+  // data flows back; otherwise the home's own copy (supplied via `fallback`)
+  // is returned. `done` runs at the home side.
+  void FetchExclusive(AgentId home, LineAddr addr, LineData fallback,
+                      std::function<void(LineData)> done);
+
+  // Invalidates all cached copies without returning data (used by the NIC to
+  // re-arm a control line so the next CPU load misses and reaches the NIC).
+  void Invalidate(AgentId home, LineAddr addr, std::function<void()> done = nullptr);
+
+  // -- Introspection ------------------------------------------------------
+
+  const CoherenceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CoherenceStats{}; }
+
+  // Directory state for tests.
+  AgentId OwnerOf(LineAddr addr) const;
+  std::vector<AgentId> SharersOf(LineAddr addr) const;
+
+  // Test hook invoked on a bus error (fill deferred past bus_timeout).
+  void set_bus_error_handler(std::function<void(LineAddr)> handler) {
+    bus_error_handler_ = std::move(handler);
+  }
+
+ private:
+  struct HomeRange {
+    HomeAgent* agent = nullptr;
+    LineAddr base = 0;
+    uint64_t size = 0;
+    bool is_device = false;
+  };
+  struct DirEntry {
+    AgentId owner = kNoAgent;     // exclusive/modified holder
+    std::set<AgentId> sharers;    // shared holders
+  };
+
+  Duration HopLatency(AgentId home) const;
+  void Count(CoherenceMsgType type, bool with_data);
+  DirEntry& Dir(LineAddr addr) { return directory_[addr]; }
+
+  Simulator& sim_;
+  CoherenceConfig config_;
+  std::vector<CacheAgent*> cache_agents_;
+  std::vector<HomeRange> homes_;  // indexed by AgentId - kHomeAgentBase
+  std::unordered_map<LineAddr, DirEntry> directory_;
+  CoherenceStats stats_;
+  std::function<void(LineAddr)> bus_error_handler_;
+  uint64_t next_fill_token_ = 1;
+  std::set<uint64_t> outstanding_fills_;  // tokens with a pending watchdog
+
+  static constexpr AgentId kHomeAgentBase = 0x1000;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_COHERENCE_INTERCONNECT_H_

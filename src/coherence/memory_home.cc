@@ -1,0 +1,78 @@
+#include "src/coherence/memory_home.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+namespace lauberhorn {
+
+MemoryHomeAgent::MemoryHomeAgent(Simulator& sim, CoherentInterconnect& interconnect,
+                                 LineAddr base, uint64_t size)
+    : sim_(sim),
+      interconnect_(interconnect),
+      base_(base),
+      size_(size),
+      id_(interconnect.RegisterHomeAgent(this, base, size, /*is_device=*/false)) {}
+
+LineData& MemoryHomeAgent::LineAt(LineAddr addr) {
+  LineData& line = lines_[addr];
+  if (line.empty()) {
+    line.resize(interconnect_.config().line_size, 0);
+  }
+  return line;
+}
+
+void MemoryHomeAgent::OnHomeRead(AgentId /*requester*/, LineAddr addr, bool /*exclusive*/,
+                                 FillFn fill) {
+  LineData copy = LineAt(addr);
+  sim_.Schedule(interconnect_.config().memory_latency,
+                [fill = std::move(fill), copy = std::move(copy)]() mutable {
+                  fill(std::move(copy));
+                });
+}
+
+void MemoryHomeAgent::OnHomeWriteBack(AgentId /*from*/, LineAddr addr, LineData data) {
+  data.resize(interconnect_.config().line_size);
+  lines_[addr] = std::move(data);
+}
+
+void MemoryHomeAgent::OnHomeUncachedWrite(AgentId /*from*/, LineAddr addr, size_t offset,
+                                          std::vector<uint8_t> data) {
+  LineData& line = LineAt(addr);
+  assert(offset + data.size() <= line.size());
+  std::memcpy(line.data() + offset, data.data(), data.size());
+}
+
+void MemoryHomeAgent::WriteBytes(uint64_t addr, const std::vector<uint8_t>& data) {
+  const size_t line_size = interconnect_.config().line_size;
+  size_t written = 0;
+  while (written < data.size()) {
+    const uint64_t a = addr + written;
+    const LineAddr line_addr = interconnect_.AlignToLine(a);
+    const size_t offset = a - line_addr;
+    const size_t chunk = std::min(line_size - offset, data.size() - written);
+    LineData& line = LineAt(line_addr);
+    std::memcpy(line.data() + offset, data.data() + written, chunk);
+    written += chunk;
+  }
+}
+
+std::vector<uint8_t> MemoryHomeAgent::ReadBytes(uint64_t addr, size_t size) const {
+  const size_t line_size = interconnect_.config().line_size;
+  std::vector<uint8_t> out(size, 0);
+  size_t read = 0;
+  while (read < size) {
+    const uint64_t a = addr + read;
+    const LineAddr line_addr = a & ~static_cast<LineAddr>(line_size - 1);
+    const size_t offset = a - line_addr;
+    const size_t chunk = std::min(line_size - offset, size - read);
+    auto it = lines_.find(line_addr);
+    if (it != lines_.end()) {
+      std::memcpy(out.data() + read, it->second.data() + offset, chunk);
+    }
+    read += chunk;
+  }
+  return out;
+}
+
+}  // namespace lauberhorn

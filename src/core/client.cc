@@ -1,0 +1,154 @@
+#include "src/core/client.h"
+
+#include <cassert>
+#include <utility>
+
+namespace lauberhorn {
+
+RpcClient::RpcClient(Simulator& sim, LinkDirection& to_server)
+    : RpcClient(sim, to_server, Config{}) {}
+
+RpcClient::RpcClient(Simulator& sim, LinkDirection& to_server, Config config)
+    : sim_(sim), to_server_(to_server), config_(config) {}
+
+uint64_t RpcClient::Call(const ServiceDef& service, uint16_t method_id,
+                         std::span<const WireValue> args, ResponseFn on_done) {
+  const MethodDef* method = service.FindMethod(method_id);
+  assert(method != nullptr && "calling unknown method");
+  RpcMessage msg;
+  msg.kind = MessageKind::kRequest;
+  msg.service_id = service.service_id;
+  msg.method_id = method_id;
+  const bool ok = MarshalArgs(method->request_sig, args, msg.payload);
+  assert(ok && "arguments do not match the method signature");
+  (void)ok;
+  return CallRaw(service.udp_port, service.service_id, method_id,
+                 std::move(msg.payload), std::move(on_done));
+}
+
+uint64_t RpcClient::CallRaw(uint16_t dst_port, uint32_t service_id, uint16_t method_id,
+                            std::vector<uint8_t> payload, ResponseFn on_done) {
+  const uint64_t request_id = next_request_id_++;
+  Pending pending;
+  pending.sent_at = sim_.Now();
+  pending.on_done = std::move(on_done);
+  pending.dst_port = dst_port;
+  pending.service_id = service_id;
+  pending.method_id = method_id;
+  pending.payload = std::move(payload);
+  auto [it, inserted] = pending_.emplace(request_id, std::move(pending));
+  ++sent_;
+  SendFrame(request_id, it->second);
+  ArmTimer(request_id);
+  return request_id;
+}
+
+void RpcClient::SendFrame(uint64_t request_id, const Pending& pending) {
+  RpcMessage msg;
+  msg.kind = MessageKind::kRequest;
+  msg.service_id = pending.service_id;
+  msg.method_id = pending.method_id;
+  msg.request_id = request_id;
+  msg.payload = pending.payload;
+  if (config_.encrypt) {
+    msg.payload = SealPayload(DeriveKey(config_.root_key, pending.service_id),
+                              request_id, msg.payload);
+  }
+  std::vector<uint8_t> wire;
+  EncodeRpcMessage(msg, wire);
+
+  EthernetHeader eth;
+  eth.src = config_.client_mac;
+  eth.dst = config_.server_mac;
+  Ipv4Header ip;
+  ip.src = config_.client_ip;
+  ip.dst = config_.server_ip;
+  UdpHeader udp;
+  // Spread flows over source ports so RSS distributes queues.
+  udp.src_port = static_cast<uint16_t>(config_.base_src_port + (request_id % 1024));
+  udp.dst_port = pending.dst_port;
+  to_server_.Send(BuildUdpFrame(eth, ip, udp, wire));
+}
+
+void RpcClient::ArmTimer(uint64_t request_id) {
+  if (config_.retransmit_timeout <= 0) {
+    return;
+  }
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.timer = sim_.Schedule(config_.retransmit_timeout,
+                                   [this, request_id]() { OnTimeout(request_id); });
+}
+
+void RpcClient::OnTimeout(uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    return;  // answered meanwhile
+  }
+  Pending& pending = it->second;
+  if (pending.attempts > config_.max_retransmits) {
+    ++timeouts_;
+    Pending expired = std::move(pending);
+    pending_.erase(it);
+    if (expired.on_done) {
+      RpcMessage msg;
+      msg.kind = MessageKind::kResponse;
+      msg.status = kTimedOut;
+      msg.request_id = request_id;
+      expired.on_done(msg, sim_.Now() - expired.sent_at);
+    }
+    return;
+  }
+  ++pending.attempts;
+  ++retransmits_;
+  SendFrame(request_id, pending);
+  ArmTimer(request_id);
+}
+
+void RpcClient::ReceivePacket(Packet packet) {
+  const auto frame = ParseUdpFrame(packet);
+  if (!frame.has_value()) {
+    ++errors_;
+    return;
+  }
+  const auto msg = DecodeRpcMessage(frame->payload);
+  if (!msg.has_value() || msg->kind != MessageKind::kResponse) {
+    ++errors_;
+    return;
+  }
+  auto it = pending_.find(msg->request_id);
+  if (it == pending_.end()) {
+    ++errors_;  // duplicate or stray
+    return;
+  }
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  if (pending.timer != kInvalidEventId) {
+    sim_.Cancel(pending.timer);
+  }
+  const Duration rtt = sim_.Now() - pending.sent_at;
+  rtt_.Record(rtt);
+  ++completed_;
+  if (msg->status != RpcStatus::kOk) {
+    ++errors_;
+  }
+  RpcMessage opened = *msg;
+  if (config_.encrypt && !opened.payload.empty()) {
+    auto plain = OpenPayload(DeriveKey(config_.root_key, pending.service_id),
+                             opened.payload);
+    if (!plain.has_value()) {
+      ++errors_;
+      opened.status = RpcStatus::kInternal;
+      opened.payload.clear();
+    } else {
+      opened.payload = std::move(*plain);
+    }
+  }
+  if (pending.on_done) {
+    pending.on_done(opened, rtt);
+  }
+}
+
+}  // namespace lauberhorn

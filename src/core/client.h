@@ -1,0 +1,100 @@
+// RPC client: sits at the far end of the wire, issues LRPC requests, matches
+// responses, and records round-trip times. Used by examples, tests, and the
+// workload generators.
+#ifndef SRC_CORE_CLIENT_H_
+#define SRC_CORE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/headers.h"
+#include "src/net/link.h"
+#include "src/proto/cipher.h"
+#include "src/proto/rpc_message.h"
+#include "src/proto/service.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+
+namespace lauberhorn {
+
+class RpcClient : public PacketSink {
+ public:
+  struct Config {
+    uint32_t client_ip = MakeIpv4(10, 0, 0, 1);
+    uint32_t server_ip = MakeIpv4(10, 0, 0, 2);
+    uint16_t base_src_port = 40000;
+    MacAddress client_mac = {0x02, 0, 0, 0, 0, 0x01};
+    MacAddress server_mac = {0x02, 0, 0, 0, 0, 0x02};
+    // LRPC-over-UDP reliability: retransmit an unanswered request after this
+    // long (0 disables), up to max_retransmits times, then report kTimedOut.
+    Duration retransmit_timeout = 0;
+    int max_retransmits = 3;
+    // Transport encryption (§6): seal request payloads / open responses with
+    // per-service keys derived from root_key.
+    bool encrypt = false;
+    uint64_t root_key = 0;
+  };
+
+  using ResponseFn = std::function<void(const RpcMessage&, Duration rtt)>;
+
+  RpcClient(Simulator& sim, LinkDirection& to_server);  // default config
+  RpcClient(Simulator& sim, LinkDirection& to_server, Config config);
+
+  // Issues one call. `on_done` (optional) fires when the response arrives.
+  // Returns the request id.
+  uint64_t Call(const ServiceDef& service, uint16_t method_id,
+                std::span<const WireValue> args, ResponseFn on_done = nullptr);
+
+  // Pre-marshalled variant (used by generators that reuse payloads).
+  uint64_t CallRaw(uint16_t dst_port, uint32_t service_id, uint16_t method_id,
+                   std::vector<uint8_t> payload, ResponseFn on_done = nullptr);
+
+  void ReceivePacket(Packet packet) override;
+
+  const Histogram& rtt() const { return rtt_; }
+  uint64_t sent() const { return sent_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t errors() const { return errors_; }
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t timeouts() const { return timeouts_; }
+  size_t outstanding() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    SimTime sent_at = 0;
+    ResponseFn on_done;
+    // For retransmission.
+    uint16_t dst_port = 0;
+    uint32_t service_id = 0;
+    uint16_t method_id = 0;
+    std::vector<uint8_t> payload;
+    int attempts = 1;
+    EventId timer = kInvalidEventId;
+  };
+
+  void SendFrame(uint64_t request_id, const Pending& pending);
+  void ArmTimer(uint64_t request_id);
+  void OnTimeout(uint64_t request_id);
+
+  Simulator& sim_;
+  LinkDirection& to_server_;
+  Config config_;
+  uint64_t next_request_id_ = 1;
+  std::unordered_map<uint64_t, Pending> pending_;
+  Histogram rtt_;
+  uint64_t sent_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t errors_ = 0;
+  uint64_t retransmits_ = 0;
+  uint64_t timeouts_ = 0;
+};
+
+// Status delivered to on_done when every retransmit attempt expires. The
+// RpcMessage carries this status and the request id; payload is empty.
+inline constexpr RpcStatus kTimedOut = static_cast<RpcStatus>(0xfffe);
+
+}  // namespace lauberhorn
+
+#endif  // SRC_CORE_CLIENT_H_

@@ -1,0 +1,247 @@
+#include "src/core/machine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace lauberhorn {
+namespace {
+
+// Host physical memory: [0, 1 GiB). Device-homed lines live above this.
+constexpr uint64_t kHostMemorySize = 1ULL << 30;
+constexpr LineAddr kLauberhornBase = 0x1'0000'0000ULL;  // 4 GiB
+constexpr uint64_t kDriverMemBase = 0x10'0000;          // rings + buffers
+constexpr uint64_t kDmaRegionBase = 0x400'0000;         // Lauberhorn DMA buffers
+
+}  // namespace
+
+std::string ToString(StackKind kind) {
+  switch (kind) {
+    case StackKind::kLinux:
+      return "linux";
+    case StackKind::kBypass:
+      return "bypass";
+    case StackKind::kLauberhorn:
+      return "lauberhorn";
+  }
+  return "?";
+}
+
+Machine::Machine(MachineConfig config) : Machine(std::move(config), nullptr) {}
+
+Machine::Machine(MachineConfig config, Simulator* shared_sim)
+    : config_(std::move(config)) {
+  if (shared_sim != nullptr) {
+    sim_ = shared_sim;
+  } else {
+    owned_sim_ = std::make_unique<Simulator>();
+    sim_ = owned_sim_.get();
+  }
+  const PlatformSpec& platform = config_.platform;
+  interconnect_ = std::make_unique<CoherentInterconnect>(*sim_, platform.coherence);
+  memory_ = std::make_unique<MemoryHomeAgent>(*sim_, *interconnect_, 0, kHostMemorySize);
+  pcie_ = std::make_unique<PcieLink>(*sim_, platform.pcie, *memory_, iommu_);
+  msix_ = std::make_unique<Msix>(*sim_, platform.pcie.msix_latency);
+
+  Kernel::Config kernel_config;
+  kernel_config.num_cores = config_.num_cores;
+  kernel_config.costs = platform.os;
+  kernel_ = std::make_unique<Kernel>(*sim_, *interconnect_, kernel_config);
+
+  LinkConfig wire_config = platform.wire;
+  wire_config.seed = config_.seed;
+  wire_ = std::make_unique<Link>(*sim_, wire_config);
+
+  switch (config_.stack) {
+    case StackKind::kLinux:
+    case StackKind::kBypass: {
+      DmaNic::Config nic_config;
+      nic_config.num_queues = config_.nic_queues;
+      nic_config.interrupts_enabled = config_.stack == StackKind::kLinux;
+      nic_config.pipeline = platform.pipeline;
+      dma_nic_ = std::make_unique<DmaNic>(*sim_, nic_config, *pcie_, *msix_);
+      dma_nic_->set_tx_wire(&wire_->b_to_a());
+      wire_->a_to_b().set_sink(dma_nic_.get());
+
+      DmaNicDriver::Config driver_config;
+      driver_config.num_queues = config_.nic_queues;
+      driver_config.mem_base = kDriverMemBase;
+      // Jumbo-capable RX/TX buffers (the benches sweep payloads past 9000 B).
+      driver_config.buffer_size = 64 * 1024;
+      dma_driver_ = std::make_unique<DmaNicDriver>(*sim_, driver_config, *pcie_, iommu_,
+                                                   *memory_);
+      if (config_.stack == StackKind::kLinux) {
+        LinuxRpcStack::Config linux_config = config_.linux_stack;
+        linux_config.encrypt_rpcs = config_.encrypt_rpcs;
+        linux_config.crypto_root_key = config_.crypto_root_key;
+        linux_stack_ = std::make_unique<LinuxRpcStack>(*sim_, *kernel_, *dma_nic_,
+                                                       *dma_driver_, *msix_, services_,
+                                                       linux_config);
+      } else {
+        BypassRuntime::Config bypass_config;
+        for (uint32_t q = 0; q < config_.nic_queues; ++q) {
+          bypass_config.cores.push_back(static_cast<int>(q));
+        }
+        bypass_config.encrypt_rpcs = config_.encrypt_rpcs;
+        bypass_config.crypto_root_key = config_.crypto_root_key;
+        bypass_ = std::make_unique<BypassRuntime>(*sim_, *kernel_, *dma_driver_, services_,
+                                                  bypass_config);
+      }
+      break;
+    }
+    case StackKind::kLauberhorn: {
+      LauberhornNic::Config nic_config;
+      nic_config.base = kLauberhornBase;
+      nic_config.num_endpoints = config_.lauberhorn_endpoints;
+      nic_config.num_kernel_channels = static_cast<size_t>(config_.num_cores);
+      nic_config.pipeline = platform.pipeline;
+      nic_config.params = config_.lauberhorn_params.value_or(platform.lauberhorn);
+      nic_config.large_policy = config_.large_policy;
+      nic_config.crypto = config_.encrypt_rpcs;
+      nic_config.crypto_root_key = config_.crypto_root_key;
+      nic_config.own_ip = config_.server_ip;
+      lauberhorn_nic_ = std::make_unique<LauberhornNic>(*sim_, *interconnect_, *pcie_,
+                                                        services_, nic_config);
+      lauberhorn_nic_->set_tx_wire(&wire_->b_to_a());
+      wire_->a_to_b().set_sink(lauberhorn_nic_.get());
+
+      LauberhornRuntime::Config runtime_config = config_.runtime;
+      runtime_config.dma_region_base = kDmaRegionBase;
+      if (runtime_config.dispatcher_threads <= 0) {
+        runtime_config.dispatcher_threads = config_.num_cores;
+      }
+      lauberhorn_runtime_ = std::make_unique<LauberhornRuntime>(
+          *sim_, *kernel_, *lauberhorn_nic_, *memory_, iommu_, services_, runtime_config);
+      break;
+    }
+  }
+
+  RpcClient::Config client_config;
+  client_config.client_ip = config_.client_ip;
+  client_config.server_ip = config_.server_ip;
+  client_config.retransmit_timeout = config_.client_retransmit_timeout;
+  client_config.max_retransmits = config_.client_max_retransmits;
+  client_config.encrypt = config_.encrypt_rpcs;
+  client_config.root_key = config_.crypto_root_key;
+  client_ = std::make_unique<RpcClient>(*sim_, wire_->a_to_b(), client_config);
+  wire_->b_to_a().set_sink(client_.get());
+  HookLatencyTracking();
+}
+
+Machine::~Machine() {
+  if (bypass_ != nullptr) {
+    bypass_->Stop();
+  }
+}
+
+void Machine::HookLatencyTracking() {
+  auto on_rx = [this](const Packet& packet) {
+    const auto frame = ParseUdpFrame(packet);
+    if (!frame.has_value()) {
+      return;
+    }
+    const auto msg = DecodeRpcMessage(frame->payload);
+    if (msg.has_value() && msg->kind == MessageKind::kRequest) {
+      request_arrivals_[msg->request_id] = sim_->Now();
+    }
+  };
+  auto on_tx = [this](const Packet& packet) {
+    const auto frame = ParseUdpFrame(packet);
+    if (!frame.has_value()) {
+      return;
+    }
+    const auto msg = DecodeRpcMessage(frame->payload);
+    if (!msg.has_value() || msg->kind != MessageKind::kResponse) {
+      return;
+    }
+    auto it = request_arrivals_.find(msg->request_id);
+    if (it == request_arrivals_.end()) {
+      return;
+    }
+    end_system_.Record(sim_->Now() - it->second);
+    request_arrivals_.erase(it);
+    ++server_rpcs_;
+  };
+  if (dma_nic_ != nullptr) {
+    dma_nic_->on_wire_rx = on_rx;
+    dma_nic_->on_wire_tx = on_tx;
+  }
+  if (lauberhorn_nic_ != nullptr) {
+    lauberhorn_nic_->on_wire_rx = on_rx;
+    lauberhorn_nic_->on_wire_tx = on_tx;
+  }
+}
+
+const ServiceDef& Machine::AddService(ServiceDef def, int max_cores) {
+  assert(!started_ && "AddService must precede Start");
+  ServiceDef* stored = services_.Add(std::move(def));
+  switch (config_.stack) {
+    case StackKind::kLinux:
+      linux_stack_->RegisterServiceProcess(*stored);
+      break;
+    case StackKind::kBypass:
+      break;  // registry-driven, nothing to do
+    case StackKind::kLauberhorn: {
+      const uint32_t first =
+          lauberhorn_runtime_->RegisterService(*stored, max_cores);
+      auto& list = service_endpoints_[stored->service_id];
+      for (int i = 0; i < max_cores; ++i) {
+        list.push_back(first + static_cast<uint32_t>(i));
+      }
+      break;
+    }
+  }
+  return *stored;
+}
+
+void Machine::Start() {
+  assert(!started_);
+  started_ = true;
+  switch (config_.stack) {
+    case StackKind::kLinux:
+      dma_driver_->Setup();
+      linux_stack_->Start();
+      break;
+    case StackKind::kBypass:
+      // Static assignment (§2): while every app can own dedicated queues,
+      // flows RSS freely; once apps outnumber queues, each app is bound to
+      // one queue — the rigidity the paper criticizes.
+      dma_nic_->set_steer_by_dst_port(services_.size() > config_.nic_queues);
+      dma_driver_->Setup();
+      bypass_->Start();
+      break;
+    case StackKind::kLauberhorn:
+      lauberhorn_runtime_->Start();
+      break;
+  }
+}
+
+void Machine::StartHotLoop(const ServiceDef& service) {
+  assert(config_.stack == StackKind::kLauberhorn);
+  const auto it = service_endpoints_.find(service.service_id);
+  assert(it != service_endpoints_.end());
+  for (uint32_t ep : it->second) {
+    lauberhorn_runtime_->StartUserLoop(ep);
+  }
+}
+
+std::vector<uint32_t> Machine::EndpointsOf(const ServiceDef& service) const {
+  const auto it = service_endpoints_.find(service.service_id);
+  return it != service_endpoints_.end() ? it->second : std::vector<uint32_t>{};
+}
+
+double Machine::CyclesPerRpc() const {
+  const uint64_t rpcs = server_rpcs_ - rpcs_at_reset_;
+  if (rpcs == 0) {
+    return 0.0;
+  }
+  const Duration busy = kernel_->TotalBusyTime() - busy_at_reset_;
+  return ToCycles(busy, config_.platform.os.frequency_ghz) / static_cast<double>(rpcs);
+}
+
+void Machine::ResetMeasurement() {
+  end_system_.Reset();
+  busy_at_reset_ = kernel_->TotalBusyTime();
+  rpcs_at_reset_ = server_rpcs_;
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,28 @@
+#include "src/core/testbed.h"
+
+#include <cassert>
+
+namespace lauberhorn {
+
+Machine& Testbed::AddMachine(MachineConfig config) {
+  const auto index = static_cast<uint8_t>(machines_.size());
+  config.server_ip = MakeIpv4(10, 0, index, 2);
+  config.client_ip = MakeIpv4(10, 0, index, 1);
+  machines_.push_back(std::make_unique<Machine>(std::move(config), &sim_));
+  Machine& machine = *machines_.back();
+
+  // NIC egress now feeds the switch instead of the machine's own client.
+  machine.wire().b_to_a().set_sink(&switch_);
+  switch_.Register(machine.config().client_ip, &machine.client());
+  PacketSink* nic_sink = nullptr;
+  if (machine.lauberhorn_nic() != nullptr) {
+    nic_sink = machine.lauberhorn_nic();
+  } else {
+    nic_sink = machine.dma_nic();
+  }
+  assert(nic_sink != nullptr);
+  switch_.Register(machine.config().server_ip, nic_sink);
+  return machine;
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,72 @@
+// Multi-machine testbed: several full machines share one simulator and a
+// simple IP-routed switch, so a service on one machine can issue nested RPCs
+// (§6 continuation endpoints) to services on another across the wire.
+#ifndef SRC_CORE_TESTBED_H_
+#define SRC_CORE_TESTBED_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/machine.h"
+
+namespace lauberhorn {
+
+// Routes frames to sinks by destination IP. Frames for unknown addresses are
+// dropped and counted (a real switch would flood; our topologies are fully
+// registered).
+class IpSwitch : public PacketSink {
+ public:
+  void Register(uint32_t ip, PacketSink* sink) { routes_[ip] = sink; }
+
+  void ReceivePacket(Packet packet) override {
+    const auto frame = ParseUdpFrame(packet);
+    if (!frame.has_value()) {
+      ++dropped_;
+      return;
+    }
+    const auto it = routes_.find(frame->ip.dst);
+    if (it == routes_.end()) {
+      ++dropped_;
+      return;
+    }
+    ++forwarded_;
+    it->second->ReceivePacket(std::move(packet));
+  }
+
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::unordered_map<uint32_t, PacketSink*> routes_;
+  uint64_t forwarded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+class Testbed {
+ public:
+  Testbed() = default;
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  Simulator& sim() { return sim_; }
+  IpSwitch& fabric() { return switch_; }
+
+  // Creates a machine on the shared simulator. `index` picks default
+  // addresses: server 10.0.<index>.2, client 10.0.<index>.1. The machine's
+  // NIC egress is re-pointed at the switch, and its NIC + client are
+  // registered as switch destinations.
+  Machine& AddMachine(MachineConfig config);
+
+  Machine& machine(size_t index) { return *machines_[index]; }
+  size_t size() const { return machines_.size(); }
+
+ private:
+  Simulator sim_;
+  IpSwitch switch_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_CORE_TESTBED_H_

@@ -1,0 +1,137 @@
+// A small explicit-state model checker (the paper verifies the Lauberhorn
+// CPU/NIC/coherence interaction with TLA+ and TLC, §6; this is the same class
+// of exhaustive small-scope checking, in C++).
+//
+// The checker enumerates the reachable state space by BFS from an initial
+// state through a user-provided successor relation, checking:
+//   * safety invariants on every reachable state,
+//   * deadlock freedom (every non-terminal state has a successor),
+//   * goal reachability (some terminal state satisfies the goal predicate).
+// Counterexamples are reported as the action-label trace from the initial
+// state (BFS ⇒ shortest).
+#ifndef SRC_MODEL_CHECKER_H_
+#define SRC_MODEL_CHECKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lauberhorn {
+
+template <typename State, typename Hash = std::hash<State>>
+class ModelChecker {
+ public:
+  struct Transition {
+    std::string label;
+    State next;
+  };
+  // Appends all enabled transitions of `state` to `out`.
+  using SuccessorFn = std::function<void(const State&, std::vector<Transition>&)>;
+  using PredicateFn = std::function<bool(const State&)>;
+
+  struct NamedInvariant {
+    std::string name;
+    PredicateFn holds;
+  };
+
+  struct Options {
+    uint64_t max_states = 1u << 20;
+    // States where having no successor is acceptable.
+    PredicateFn is_terminal_ok = nullptr;
+    // If set, verify some reachable state satisfies this.
+    PredicateFn goal = nullptr;
+  };
+
+  struct Result {
+    bool ok = true;
+    uint64_t states_explored = 0;
+    uint64_t transitions = 0;
+    bool hit_state_limit = false;
+    std::string violation;           // empty if ok
+    std::vector<std::string> trace;  // actions from init to the violation
+  };
+
+  Result Check(const State& initial, const SuccessorFn& successors,
+               const std::vector<NamedInvariant>& invariants, Options options) {
+    Result result;
+    std::unordered_map<State, std::pair<State, std::string>, Hash> parent;
+    std::deque<State> frontier;
+    bool goal_found = false;
+
+    auto trace_to = [&](const State& state) {
+      std::vector<std::string> trace;
+      State cursor = state;
+      while (true) {
+        auto it = parent.find(cursor);
+        if (it == parent.end() || it->second.second.empty()) {
+          break;
+        }
+        trace.push_back(it->second.second);
+        cursor = it->second.first;
+      }
+      std::reverse(trace.begin(), trace.end());
+      return trace;
+    };
+    auto fail = [&](const State& state, std::string why) {
+      result.ok = false;
+      result.violation = std::move(why);
+      result.trace = trace_to(state);
+    };
+
+    parent.emplace(initial, std::make_pair(initial, std::string()));
+    frontier.push_back(initial);
+
+    std::vector<Transition> next;
+    while (!frontier.empty()) {
+      const State state = frontier.front();
+      frontier.pop_front();
+      ++result.states_explored;
+      if (result.states_explored > options.max_states) {
+        result.hit_state_limit = true;
+        fail(state, "state limit exceeded");
+        return result;
+      }
+
+      for (const auto& invariant : invariants) {
+        if (!invariant.holds(state)) {
+          fail(state, "invariant violated: " + invariant.name);
+          return result;
+        }
+      }
+      if (options.goal && options.goal(state)) {
+        goal_found = true;
+      }
+
+      next.clear();
+      successors(state, next);
+      result.transitions += next.size();
+      if (next.empty()) {
+        if (!options.is_terminal_ok || !options.is_terminal_ok(state)) {
+          fail(state, "deadlock: non-terminal state has no successors");
+          return result;
+        }
+        continue;
+      }
+      for (auto& transition : next) {
+        auto [it, inserted] = parent.emplace(
+            transition.next, std::make_pair(state, transition.label));
+        if (inserted) {
+          frontier.push_back(transition.next);
+        }
+      }
+    }
+
+    if (options.goal && !goal_found) {
+      result.ok = false;
+      result.violation = "goal state unreachable";
+    }
+    return result;
+  }
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_MODEL_CHECKER_H_

@@ -1,0 +1,77 @@
+// Small-scope specification of the cold-dispatch path (§5.2): cold requests
+// queue at the NIC, a dispatcher kernel thread is woken, parks on a kernel
+// control channel, handles one request in software, and must re-arm while
+// work remains. An early implementation of this repository stranded queued
+// requests when the dispatcher could not promote the endpoint to a hot loop
+// (the cold_dispatch_inflight flag was never cleared); the buggy variant
+// below reproduces that bug class and the checker catches it.
+#ifndef SRC_MODEL_COLD_PATH_SPEC_H_
+#define SRC_MODEL_COLD_PATH_SPEC_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/model/checker.h"
+
+namespace lauberhorn {
+
+inline constexpr int kColdSpecMaxRequests = 3;
+
+struct ColdState {
+  enum Req : uint8_t {
+    kNotArrived = 0,
+    kQueued,     // in the NIC's cold queue
+    kHandling,   // delivered to the dispatcher, response pending
+    kResponded,
+  };
+  enum Dispatcher : uint8_t {
+    kIdle = 0,      // not armed; needs a wakeup
+    kWaking,        // wakeup in flight (IRQ -> scheduler)
+    kParked,        // blocked on its kernel control channel
+    kHandling_,     // context-switched into the process, running the handler
+  };
+
+  std::array<uint8_t, kColdSpecMaxRequests> req{};
+  uint8_t dispatcher = kIdle;
+  bool wake_pending = false;  // NIC has signalled on_need_dispatcher
+
+  bool operator==(const ColdState& other) const = default;
+};
+
+struct ColdStateHash {
+  size_t operator()(const ColdState& s) const {
+    uint64_t h = 14695981039346656037ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    for (uint8_t r : s.req) {
+      mix(r);
+    }
+    mix(s.dispatcher);
+    mix(s.wake_pending ? 1 : 0);
+    return static_cast<size_t>(h);
+  }
+};
+
+using ColdChecker = ModelChecker<ColdState, ColdStateHash>;
+
+struct ColdSpecConfig {
+  int num_requests = kColdSpecMaxRequests;
+  // The bug class found during development: after handling a request, the
+  // dispatcher fails to re-arm / re-signal although the queue is non-empty.
+  bool bug_no_rearm_after_handle = false;
+  // The kernel-channel TRYAGAIN races a delivery: the dispatcher yields
+  // although the queue is non-empty, and the NIC does not re-signal.
+  bool bug_tryagain_misses_queue = false;
+};
+
+ColdChecker::SuccessorFn ColdPathSuccessors(ColdSpecConfig config);
+std::vector<ColdChecker::NamedInvariant> ColdPathInvariants();
+bool ColdPathTerminalOk(const ColdState& state);
+bool ColdPathGoal(const ColdState& state);
+ColdState ColdPathInitialState(int num_requests = kColdSpecMaxRequests);
+
+}  // namespace lauberhorn
+
+#endif  // SRC_MODEL_COLD_PATH_SPEC_H_

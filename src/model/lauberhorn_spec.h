@@ -1,0 +1,102 @@
+// Small-scope specification of the Lauberhorn CONTROL-line protocol (Fig. 4)
+// for exhaustive model checking (§6).
+//
+// The model captures one endpoint: a CPU core alternating blocking loads over
+// the two CONTROL lines, and the NIC holding a bounded request queue, a
+// deferred fill, the TRYAGAIN timer, and the not-yet-collected response. All
+// interleavings of packet arrival, load issue/processing, timer firing,
+// handler execution, and retire requests are explored.
+#ifndef SRC_MODEL_LAUBERHORN_SPEC_H_
+#define SRC_MODEL_LAUBERHORN_SPEC_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/model/checker.h"
+
+namespace lauberhorn {
+
+inline constexpr int kSpecMaxRequests = 3;
+
+struct ProtoState {
+  enum Cpu : uint8_t {
+    kCpuIdle = 0,       // between loads (about to issue the next one)
+    kCpuLoadInFlight,   // load issued, not yet observed by the NIC
+    kCpuLoadWaiting,    // NIC is deferring the fill
+    kCpuHasRequest,     // fill returned a dispatch; handler runnable
+    kCpuRetired,        // loop exited (RETIRE observed)
+  };
+  enum Req : uint8_t {
+    kNotArrived = 0,
+    kInNicQueue,
+    kDelivered,   // dispatched to the CPU, response not yet on the wire
+    kResponded,   // response transmitted
+  };
+
+  uint8_t cpu = kCpuIdle;
+  uint8_t cpu_parity = 0;  // CONTROL line the next/current load targets
+  std::array<uint8_t, kSpecMaxRequests> req{};  // per-request lifecycle
+  bool nic_waiting = false;       // NIC holds a deferred fill
+  uint8_t nic_wait_parity = 0;
+  bool timer_armed = false;       // TRYAGAIN deadline pending
+  int8_t outstanding = -1;        // request delivered, response uncollected
+  uint8_t outstanding_parity = 0; // line holding that response
+  bool retire_requested = false;
+
+  bool operator==(const ProtoState& other) const = default;
+};
+
+struct ProtoStateHash {
+  size_t operator()(const ProtoState& s) const {
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(s.cpu);
+    mix(s.cpu_parity);
+    for (uint8_t r : s.req) {
+      mix(r);
+    }
+    mix(s.nic_waiting ? 1 : 0);
+    mix(s.nic_wait_parity);
+    mix(s.timer_armed ? 1 : 0);
+    mix(static_cast<uint64_t>(static_cast<int64_t>(s.outstanding)) + 7);
+    mix(s.outstanding_parity);
+    mix(s.retire_requested ? 1 : 0);
+    return static_cast<size_t>(h);
+  }
+};
+
+using ProtoChecker = ModelChecker<ProtoState, ProtoStateHash>;
+
+struct SpecConfig {
+  int num_requests = kSpecMaxRequests;  // arrivals to model (<= kSpecMaxRequests)
+  bool model_retire = true;             // include RETIRE actions
+  // Fault injections for checker-effectiveness tests:
+  bool bug_skip_response_collection = false;  // NIC forgets fetch-exclusive
+  bool bug_deliver_without_load = false;      // fill doesn't consume the load
+  bool bug_drop_arrival_while_busy = false;   // arrival during handler is lost
+};
+
+// The protocol's transition relation under `config`.
+ProtoChecker::SuccessorFn LauberhornSuccessors(SpecConfig config);
+
+// Safety invariants of the protocol.
+std::vector<ProtoChecker::NamedInvariant> LauberhornInvariants();
+
+// Acceptable terminal states: everything answered, CPU parked or retired.
+bool LauberhornTerminalOk(const ProtoState& state);
+// Goal: all requests responded.
+bool LauberhornGoal(const ProtoState& state);
+
+// Unused request slots (beyond num_requests) start as kResponded so the
+// terminal/goal predicates are scope-independent.
+ProtoState LauberhornInitialState(int num_requests = kSpecMaxRequests);
+
+}  // namespace lauberhorn
+
+#endif  // SRC_MODEL_LAUBERHORN_SPEC_H_

@@ -1,0 +1,48 @@
+#include "src/net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lauberhorn {
+
+LinkDirection::LinkDirection(Simulator& sim, const LinkConfig& config, uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {}
+
+Duration LinkDirection::SerializationDelay(size_t bytes) const {
+  // bits / (Gbit/s) = ns; include Ethernet preamble + IFG (20 bytes) as real
+  // MACs do.
+  const double wire_bytes = static_cast<double>(bytes) + 20.0;
+  return NanosecondsF(wire_bytes * 8.0 / config_.bandwidth_gbps);
+}
+
+void LinkDirection::Send(Packet packet) {
+  packet.enqueued_at = sim_.Now();
+  ++packets_sent_;
+  bytes_sent_ += packet.size();
+
+  if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
+    ++packets_dropped_;
+    return;
+  }
+  if (config_.corrupt_probability > 0.0 && !packet.bytes.empty() &&
+      rng_.Bernoulli(config_.corrupt_probability)) {
+    const size_t byte_index = rng_.UniformInt(0, packet.bytes.size() - 1);
+    const auto bit = static_cast<uint8_t>(1u << rng_.UniformInt(0, 7));
+    packet.bytes[byte_index] ^= bit;
+  }
+
+  const SimTime start = std::max(sim_.Now(), tx_free_at_);
+  const SimTime done = start + SerializationDelay(packet.size());
+  tx_free_at_ = done;
+  const SimTime arrival = done + config_.propagation;
+  sim_.ScheduleAt(arrival, [this, p = std::move(packet)]() mutable {
+    if (sink_ != nullptr) {
+      sink_->ReceivePacket(std::move(p));
+    }
+  });
+}
+
+Link::Link(Simulator& sim, const LinkConfig& config)
+    : a_to_b_(sim, config, config.seed * 2 + 1), b_to_a_(sim, config, config.seed * 2 + 2) {}
+
+}  // namespace lauberhorn

@@ -1,0 +1,75 @@
+// Point-to-point full-duplex link model with serialization delay, propagation
+// delay, and optional fault injection (loss / bit corruption).
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/net/packet.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace lauberhorn {
+
+// Anything that can accept a packet off a wire: NIC models, traffic sources.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void ReceivePacket(Packet packet) = 0;
+};
+
+struct LinkConfig {
+  double bandwidth_gbps = 100.0;           // serialization rate
+  Duration propagation = Nanoseconds(500);  // one-way wire + switch latency
+  double loss_probability = 0.0;            // silently drop
+  double corrupt_probability = 0.0;         // flip one payload bit
+  uint64_t seed = 1;                        // fault-injection stream
+};
+
+// One direction of a link. Packets serialize back to back: a packet starts
+// transmitting when the previous one has finished, then arrives after the
+// propagation delay. This models head-of-line blocking at the sender.
+class LinkDirection {
+ public:
+  LinkDirection(Simulator& sim, const LinkConfig& config, uint64_t seed);
+
+  void set_sink(PacketSink* sink) { sink_ = sink; }
+
+  // Hands a packet to the wire.
+  void Send(Packet packet);
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Duration SerializationDelay(size_t bytes) const;
+
+  Simulator& sim_;
+  LinkConfig config_;
+  Rng rng_;
+  PacketSink* sink_ = nullptr;
+  SimTime tx_free_at_ = 0;  // when the transmitter finishes the current packet
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+// A full-duplex link: direction A->B and B->A.
+class Link {
+ public:
+  Link(Simulator& sim, const LinkConfig& config);
+
+  LinkDirection& a_to_b() { return a_to_b_; }
+  LinkDirection& b_to_a() { return b_to_a_; }
+
+ private:
+  LinkDirection a_to_b_;
+  LinkDirection b_to_a_;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_NET_LINK_H_

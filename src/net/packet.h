@@ -1,0 +1,30 @@
+// Byte-owning network packet plus simulation metadata.
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace lauberhorn {
+
+// A packet is a contiguous byte buffer. Header parse/build helpers in
+// headers.h operate on these bytes, so everything the simulated NICs do
+// (demultiplexing, checksum verification, RPC unmarshalling) is functionally
+// real, not a tag on a token.
+struct Packet {
+  std::vector<uint8_t> bytes;
+
+  // Simulation metadata (not on the wire).
+  SimTime enqueued_at = 0;   // when the sender handed it to the wire
+  uint64_t trace_id = 0;     // correlates request/response pairs in stats
+
+  size_t size() const { return bytes.size(); }
+  bool empty() const { return bytes.empty(); }
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_NET_PACKET_H_

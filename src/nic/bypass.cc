@@ -1,0 +1,150 @@
+#include "src/nic/bypass.h"
+
+#include <cassert>
+#include <utility>
+
+namespace lauberhorn {
+
+BypassRuntime::BypassRuntime(Simulator& sim, Kernel& kernel, DmaNicDriver& driver,
+                             ServiceRegistry& services, Config config)
+    : sim_(sim),
+      kernel_(kernel),
+      driver_(driver),
+      services_(services),
+      config_(std::move(config)) {
+  assert(config_.cores.size() >= driver_.num_queues() &&
+         "bypass needs one dedicated core per queue");
+}
+
+void BypassRuntime::Start() {
+  running_ = true;
+  empty_streak_.assign(driver_.num_queues(), 0);
+  process_ = kernel_.CreateProcess("bypass-app");
+  for (uint32_t q = 0; q < driver_.num_queues(); ++q) {
+    Core& core = kernel_.core(static_cast<size_t>(config_.cores[q]));
+    // The dedicated core is owned by the bypass process outright; it never
+    // returns to the scheduler (the static-binding assumption of §2).
+    Thread* t = kernel_.AddThread(process_, "bypass-poll-" + std::to_string(q));
+    t->set_state(ThreadState::kRunning);
+    core.set_current_thread(t);
+    core.set_loaded_pid(process_->pid);
+    sim_.Schedule(0, [this, q, &core]() { Loop(q, core); });
+  }
+}
+
+void BypassRuntime::Loop(uint32_t q, Core& core) {
+  if (!running_) {
+    return;
+  }
+  std::vector<Packet> packets = driver_.Poll(q, config_.poll_batch);
+  if (packets.empty()) {
+    ++empty_polls_;
+    const Duration step = ++empty_streak_[q] > config_.idle_backoff_after
+                              ? config_.idle_poll_interval
+                              : config_.poll_iteration;
+    core.Run(step, CoreMode::kSpin, [this, q, &core]() { Loop(q, core); });
+    return;
+  }
+  empty_streak_[q] = 0;
+  core.Run(config_.rx_batch_fixed, CoreMode::kUser,
+           [this, q, &core, packets = std::move(packets)]() mutable {
+             ProcessBatch(q, core, std::move(packets), 0);
+           });
+}
+
+void BypassRuntime::ProcessBatch(uint32_t q, Core& core, std::vector<Packet> packets,
+                                 size_t index) {
+  if (index >= packets.size()) {
+    Loop(q, core);
+    return;
+  }
+  const OsCostModel& costs = kernel_.costs();
+  Packet& packet = packets[index];
+  const auto frame = ParseUdpFrame(packet);
+  if (!frame.has_value()) {
+    ++bad_requests_;
+    core.Run(config_.per_packet, CoreMode::kUser,
+             [this, q, &core, packets = std::move(packets), index]() mutable {
+               ProcessBatch(q, core, std::move(packets), index + 1);
+             });
+    return;
+  }
+  auto request = DecodeRpcMessage(frame->payload);
+  const ServiceDef* service =
+      request.has_value() ? services_.FindByPort(frame->udp.dst_port) : nullptr;
+
+  RpcMessage response;
+  response.kind = MessageKind::kResponse;
+  Duration work = config_.per_packet;
+  if (request.has_value() && service != nullptr && config_.encrypt_rpcs) {
+    work += costs.SwCryptoCost(request->payload.size());
+    auto opened = OpenPayload(DeriveKey(config_.crypto_root_key, service->service_id),
+                              request->payload);
+    if (!opened.has_value()) {
+      request.reset();  // authentication failure: treated as a bad request
+    } else {
+      request->payload = std::move(*opened);
+    }
+  }
+  const MethodDef* method =
+      service != nullptr && request.has_value()
+          ? service->FindMethod(request->method_id)
+          : nullptr;
+  if (!request.has_value() || request->kind != MessageKind::kRequest) {
+    ++bad_requests_;
+    core.Run(work, CoreMode::kUser,
+             [this, q, &core, packets = std::move(packets), index]() mutable {
+               ProcessBatch(q, core, std::move(packets), index + 1);
+             });
+    return;
+  }
+  response.service_id = request->service_id;
+  response.method_id = request->method_id;
+  response.request_id = request->request_id;
+  if (service == nullptr) {
+    response.status = RpcStatus::kNoSuchService;
+  } else if (method == nullptr) {
+    response.status = RpcStatus::kNoSuchMethod;
+  } else {
+    std::vector<WireValue> args;
+    if (!UnmarshalArgs(method->request_sig, request->payload, args)) {
+      response.status = RpcStatus::kBadArguments;
+      work += costs.SwMarshalCost(request->payload.size());
+    } else {
+      work += costs.SwMarshalCost(request->payload.size());  // software unmarshal
+      const std::vector<WireValue> result = method->handler(args);
+      work += method->service_time(args);
+      MarshalArgs(method->response_sig, result, response.payload);
+      work += costs.SwMarshalCost(response.payload.size());
+    }
+  }
+  if (config_.encrypt_rpcs && !response.payload.empty() && service != nullptr) {
+    work += costs.SwCryptoCost(response.payload.size());
+    response.payload =
+        SealPayload(DeriveKey(config_.crypto_root_key, service->service_id),
+                    response.request_id ^ 0x5a5a, response.payload);
+  }
+  work += config_.tx_per_packet;
+
+  EthernetHeader eth;
+  eth.dst = frame->eth.src;
+  eth.src = frame->eth.dst;
+  Ipv4Header ip;
+  ip.src = frame->ip.dst;
+  ip.dst = frame->ip.src;
+  UdpHeader udp;
+  udp.src_port = frame->udp.dst_port;
+  udp.dst_port = frame->udp.src_port;
+  std::vector<uint8_t> payload;
+  EncodeRpcMessage(response, payload);
+  const Packet out = BuildUdpFrame(eth, ip, udp, payload);
+
+  core.Run(work, CoreMode::kUser,
+           [this, q, &core, out, packets = std::move(packets), index]() mutable {
+             driver_.Transmit(q, out.bytes);
+             ++rpcs_completed_;
+             ProcessBatch(q, core, std::move(packets), index + 1);
+           });
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,74 @@
+// Kernel-bypass RPC runtime (DPDK/IX-style): dedicated cores spin-poll RX
+// rings in user space and run handlers to completion. Fast when a flow's
+// queue maps to a warm core; rigid (static flow->queue->core binding) and
+// energy-hungry (busy-wait) otherwise — the trade-off the paper targets.
+#ifndef SRC_NIC_BYPASS_H_
+#define SRC_NIC_BYPASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/headers.h"
+#include "src/nic/dma_nic.h"
+#include "src/os/kernel.h"
+#include "src/proto/cipher.h"
+#include "src/proto/rpc_message.h"
+#include "src/proto/service.h"
+
+namespace lauberhorn {
+
+class BypassRuntime {
+ public:
+  struct Config {
+    // Dedicated polling cores; queue q is served by cores[q].
+    std::vector<int> cores;
+    size_t poll_batch = 32;
+    // One empty poll-loop iteration (ring peek + branch).
+    Duration poll_iteration = Nanoseconds(25);
+    // After this many consecutive empty polls the loop relaxes (pause/tpause
+    // style) to the coarser interval below. The core still burns 100% of its
+    // cycles — this only coarsens simulation granularity while idle.
+    uint64_t idle_backoff_after = 32;
+    Duration idle_poll_interval = Nanoseconds(500);
+    // Fixed per-batch receive cost (prefetch, ring maintenance).
+    Duration rx_batch_fixed = Nanoseconds(100);
+    // Userspace per-packet driver + protocol cost (no skb, no syscalls).
+    Duration per_packet = Nanoseconds(300);
+    // Userspace TX cost per packet.
+    Duration tx_per_packet = Nanoseconds(200);
+    // Software transport crypto.
+    bool encrypt_rpcs = false;
+    uint64_t crypto_root_key = 0;
+  };
+
+  BypassRuntime(Simulator& sim, Kernel& kernel, DmaNicDriver& driver,
+                ServiceRegistry& services, Config config);
+
+  // Occupies the dedicated cores and starts spinning.
+  void Start();
+  void Stop() { running_ = false; }
+
+  uint64_t rpcs_completed() const { return rpcs_completed_; }
+  uint64_t bad_requests() const { return bad_requests_; }
+  uint64_t empty_polls() const { return empty_polls_; }
+
+ private:
+  void Loop(uint32_t q, Core& core);
+  std::vector<uint64_t> empty_streak_;
+  void ProcessBatch(uint32_t q, Core& core, std::vector<Packet> packets, size_t index);
+
+  Simulator& sim_;
+  Kernel& kernel_;
+  DmaNicDriver& driver_;
+  ServiceRegistry& services_;
+  Config config_;
+  Process* process_ = nullptr;  // the bypass application owns its data plane
+  bool running_ = false;
+  uint64_t rpcs_completed_ = 0;
+  uint64_t bad_requests_ = 0;
+  uint64_t empty_polls_ = 0;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_NIC_BYPASS_H_

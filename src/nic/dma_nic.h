@@ -1,0 +1,158 @@
+// The traditional PCIe DMA NIC of Fig. 1: descriptor rings, RSS, DMA
+// transfers through the IOMMU, and MSI-X interrupts. Both the Linux-baseline
+// stack and the kernel-bypass runtime run on top of this device — they differ
+// only in who owns the rings and whether interrupts are enabled.
+#ifndef SRC_NIC_DMA_NIC_H_
+#define SRC_NIC_DMA_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/net/headers.h"
+#include "src/net/link.h"
+#include "src/nic/cost_model.h"
+#include "src/pcie/pcie_link.h"
+#include "src/pcie/ring.h"
+#include "src/sim/simulator.h"
+
+namespace lauberhorn {
+
+// MMIO register map (64-bit registers, byte offsets).
+inline constexpr uint64_t kRegIntEnable = 0x00;
+inline constexpr uint64_t kRegQueueStride = 0x100;
+inline constexpr uint64_t kRegRxBase = 0x10;
+inline constexpr uint64_t kRegRxSize = 0x18;
+inline constexpr uint64_t kRegRxTail = 0x20;  // doorbell: host posted up to tail
+inline constexpr uint64_t kRegTxBase = 0x30;
+inline constexpr uint64_t kRegTxSize = 0x38;
+inline constexpr uint64_t kRegTxTail = 0x40;  // doorbell
+
+class DmaNic : public PacketSink, public MmioDevice {
+ public:
+  struct Config {
+    uint32_t num_queues = 1;
+    bool interrupts_enabled = true;
+    // Minimum gap between interrupts per queue (ITR); 0 = interrupt per packet.
+    Duration interrupt_moderation = 0;
+    // Steer by destination port only (application->queue binding, as
+    // kernel-bypass runtimes configure) instead of 5-tuple RSS. This is the
+    // static assignment whose rigidity §2 criticizes.
+    bool steer_by_dst_port = false;
+    NicPipelineCosts pipeline;
+  };
+
+  DmaNic(Simulator& sim, Config config, PcieLink& pcie, Msix& msix);
+
+  void set_tx_wire(LinkDirection* wire) { tx_wire_ = wire; }
+  void set_steer_by_dst_port(bool on) { config_.steer_by_dst_port = on; }
+
+  // PacketSink: a frame arrived from the wire.
+  void ReceivePacket(Packet packet) override;
+
+  // MmioDevice.
+  void OnMmioWrite(uint64_t offset, uint64_t value) override;
+  uint64_t OnMmioRead(uint64_t offset) override;
+
+  // Observation hooks for latency tracking: invoked the moment a frame
+  // arrives from / departs to the wire (before any queueing).
+  std::function<void(const Packet&)> on_wire_rx;
+  std::function<void(const Packet&)> on_wire_tx;
+
+  uint64_t rx_packets() const { return rx_packets_; }
+  uint64_t rx_drops_no_desc() const { return rx_drops_no_desc_; }
+  uint64_t rx_drops_bad_frame() const { return rx_drops_bad_frame_; }
+  uint64_t tx_packets() const { return tx_packets_; }
+
+ private:
+  struct Queue {
+    uint64_t rx_base = 0;
+    uint32_t rx_size = 0;
+    uint32_t rx_head = 0;  // next descriptor the NIC will consume
+    uint32_t rx_tail = 0;  // host has posted descriptors up to here
+    uint64_t tx_base = 0;
+    uint32_t tx_size = 0;
+    uint32_t tx_head = 0;
+    uint32_t tx_tail = 0;
+    bool rx_busy = false;            // an RX DMA chain is in flight
+    std::deque<Packet> rx_backlog;   // parsed packets awaiting descriptors/DMA
+    SimTime last_irq = -1;
+    bool irq_scheduled = false;
+    bool tx_busy = false;
+  };
+
+  uint32_t RssQueue(const Packet& packet) const;
+  void StartRxDelivery(uint32_t q);
+  void DeliverOne(uint32_t q, Packet packet);
+  void MaybeInterrupt(uint32_t q);
+  void StartTx(uint32_t q);
+
+  Simulator& sim_;
+  Config config_;
+  PcieLink& pcie_;
+  Msix& msix_;
+  LinkDirection* tx_wire_ = nullptr;
+  std::vector<Queue> queues_;
+  bool interrupts_enabled_;
+  uint64_t rx_packets_ = 0;
+  uint64_t rx_drops_no_desc_ = 0;
+  uint64_t rx_drops_bad_frame_ = 0;
+  uint64_t tx_packets_ = 0;
+};
+
+// Host-side driver: owns rings and buffers in host memory, posts RX
+// descriptors, harvests completions, and submits TX. The CPU cost of driver
+// work is charged by the *caller* (Linux softirq vs bypass poll differ).
+class DmaNicDriver {
+ public:
+  struct Config {
+    uint32_t num_queues = 1;
+    uint32_t ring_entries = 256;
+    size_t buffer_size = 2048;
+    uint64_t mem_base = 0x100000;  // host memory region for rings + buffers
+  };
+
+  DmaNicDriver(Simulator& sim, Config config, PcieLink& pcie, Iommu& iommu,
+               MemoryHomeAgent& memory);
+
+  // Programs the device registers and posts all RX buffers.
+  void Setup();
+
+  // Harvests up to `budget` completed RX packets from queue `q`, reposting
+  // their buffers. Pure data-structure work; charge CPU cost at the caller.
+  std::vector<Packet> Poll(uint32_t q, size_t budget);
+
+  // True if a completed descriptor is waiting (cheap peek for spin loops).
+  bool RxPending(uint32_t q);
+
+  // Copies `bytes` into a TX buffer, writes the descriptor, rings the doorbell.
+  // Returns false if the TX ring is full.
+  bool Transmit(uint32_t q, const std::vector<uint8_t>& bytes);
+
+  uint32_t num_queues() const { return config_.num_queues; }
+
+ private:
+  struct QueueState {
+    uint64_t rx_ring_base = 0;
+    uint64_t tx_ring_base = 0;
+    uint64_t rx_buffers = 0;  // ring_entries contiguous buffers
+    uint64_t tx_buffers = 0;
+    uint32_t rx_next = 0;     // next descriptor to harvest
+    uint32_t rx_tail = 0;     // posted up to here
+    uint32_t tx_tail = 0;
+  };
+
+  void PostRx(uint32_t q, uint32_t index);
+
+  Simulator& sim_;
+  Config config_;
+  PcieLink& pcie_;
+  Iommu& iommu_;
+  MemoryHomeAgent& memory_;
+  std::vector<QueueState> queues_;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_NIC_DMA_NIC_H_

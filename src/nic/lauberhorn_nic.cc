@@ -1,0 +1,876 @@
+#include "src/nic/lauberhorn_nic.h"
+
+#include <cassert>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+namespace lauberhorn {
+
+LauberhornNic::LauberhornNic(Simulator& sim, CoherentInterconnect& interconnect,
+                             PcieLink& pcie, ServiceRegistry& services, Config config)
+    : sim_(sim),
+      interconnect_(interconnect),
+      pcie_(pcie),
+      services_(services),
+      config_(config) {
+  const size_t first_continuation = config_.num_kernel_channels + config_.num_endpoints;
+  const size_t total = first_continuation + config_.num_continuations;
+  endpoints_.resize(total);
+  for (size_t i = 0; i < total; ++i) {
+    endpoints_[i].id = static_cast<uint32_t>(i);
+    endpoints_[i].is_kernel = i < config_.num_kernel_channels;
+  }
+  for (size_t i = first_continuation; i < total; ++i) {
+    Endpoint& ep = endpoints_[i];
+    ep.is_continuation = true;
+    const auto port = static_cast<uint16_t>(config_.continuation_port_base +
+                                            (i - first_continuation));
+    port_to_endpoints_[port].push_back(ep.id);
+    free_continuations_.push_back(ep.id);
+  }
+  const uint64_t homed_bytes = total * EndpointStrideLines() * line_size();
+  home_id_ = interconnect_.RegisterHomeAgent(this, config_.base, homed_bytes,
+                                             /*is_device=*/true);
+}
+
+std::optional<uint32_t> LauberhornNic::AllocateContinuation() {
+  if (free_continuations_.empty()) {
+    return std::nullopt;
+  }
+  const uint32_t id = free_continuations_.back();
+  free_continuations_.pop_back();
+  endpoints_[id].in_use = true;
+  return id;
+}
+
+void LauberhornNic::FreeContinuation(uint32_t endpoint) {
+  Endpoint& ep = endpoints_[endpoint];
+  assert(ep.is_continuation);
+  ep.in_use = false;
+  ep.active = false;
+  ep.pending.clear();
+  ep.outstanding.reset();
+  free_continuations_.push_back(endpoint);
+}
+
+void LauberhornNic::ClientTransmit(uint32_t continuation, uint32_t dst_ip,
+                                   uint16_t dst_port, RpcMessage request) {
+  const Endpoint& cont = endpoints_[continuation];
+  assert(cont.is_continuation && cont.in_use);
+  const bool local = dst_ip == 0 || dst_ip == config_.own_ip;
+  if (config_.crypto) {
+    uint32_t service_id = request.service_id;  // remote: caller-provided
+    if (local) {
+      const auto target = port_to_endpoints_.find(dst_port);
+      if (target != port_to_endpoints_.end() && !target->second.empty()) {
+        service_id = endpoints_[target->second.front()].service_id;
+      }
+    }
+    request.service_id = service_id;
+    request.payload = SealPayload(DeriveKey(config_.crypto_root_key, service_id),
+                                  request.request_id, request.payload);
+  }
+  const size_t first_continuation =
+      config_.num_kernel_channels + config_.num_endpoints;
+  const auto src_port = static_cast<uint16_t>(config_.continuation_port_base +
+                                              (continuation - first_continuation));
+  std::vector<uint8_t> payload;
+  EncodeRpcMessage(request, payload);
+  EthernetHeader eth;
+  eth.src = {0x02, 0, 0, 0, 0, 0x02};
+  eth.dst = {0x02, 0, 0, 0, 0, 0x02};
+  Ipv4Header ip;
+  ip.src = config_.own_ip;
+  ip.dst = local ? config_.own_ip : dst_ip;
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  Packet out = BuildUdpFrame(eth, ip, udp, payload);
+  if (local) {
+    sim_.Schedule(config_.pipeline.tx_fixed + config_.hairpin_latency,
+                  [this, out = std::move(out)]() mutable {
+                    ReceivePacket(std::move(out));
+                  });
+    return;
+  }
+  sim_.Schedule(config_.pipeline.tx_fixed, [this, out = std::move(out)]() mutable {
+    if (tx_wire_ != nullptr) {
+      tx_wire_->Send(std::move(out));
+    }
+  });
+}
+
+LineAddr LauberhornNic::CtrlAddr(uint32_t endpoint, int parity) const {
+  return config_.base +
+         (static_cast<uint64_t>(endpoint) * EndpointStrideLines() +
+          static_cast<uint64_t>(parity)) *
+             line_size();
+}
+
+LineAddr LauberhornNic::AuxAddr(uint32_t endpoint, size_t index) const {
+  return config_.base +
+         (static_cast<uint64_t>(endpoint) * EndpointStrideLines() + 2 + index) *
+             line_size();
+}
+
+LineData& LauberhornNic::StoredLine(LineAddr addr) {
+  LineData& line = line_store_[addr];
+  if (line.empty()) {
+    line.resize(line_size(), 0);
+  }
+  return line;
+}
+
+LauberhornNic::LineRole LauberhornNic::Decode(LineAddr addr) {
+  LineRole role;
+  const uint64_t offset_lines = (addr - config_.base) / line_size();
+  const uint64_t index = offset_lines / EndpointStrideLines();
+  const uint64_t within = offset_lines % EndpointStrideLines();
+  if (index >= endpoints_.size()) {
+    return role;
+  }
+  role.endpoint = &endpoints_[index];
+  if (within < 2) {
+    role.is_ctrl = true;
+    role.parity = static_cast<int>(within);
+  } else {
+    role.aux_index = within - 2;
+  }
+  return role;
+}
+
+// -- Host-facing control interface ---------------------------------------------
+
+uint32_t LauberhornNic::AllocateEndpoint(uint32_t service_id, Pid pid, uint64_t code_ptr,
+                                         uint64_t data_ptr, uint64_t dma_buffer_iova) {
+  assert(next_service_endpoint_ < config_.num_endpoints && "out of endpoints");
+  const uint32_t id =
+      static_cast<uint32_t>(config_.num_kernel_channels) + next_service_endpoint_++;
+  Endpoint& ep = endpoints_[id];
+  ep.in_use = true;
+  ep.service_id = service_id;
+  ep.pid = pid;
+  ep.code_ptr = code_ptr;
+  ep.data_ptr = data_ptr;
+  ep.dma_buffer_iova = dma_buffer_iova;
+  const ServiceDef* service = services_.Find(service_id);
+  assert(service != nullptr && "endpoint for unknown service");
+  port_to_endpoints_[service->udp_port].push_back(id);
+  return id;
+}
+
+uint32_t LauberhornNic::AllocateKernelChannel() {
+  assert(next_kernel_channel_ < config_.num_kernel_channels && "out of channels");
+  const uint32_t id = next_kernel_channel_++;
+  endpoints_[id].in_use = true;
+  return id;
+}
+
+void LauberhornNic::ActivateEndpoint(uint32_t endpoint, int core) {
+  sim_.Schedule(interconnect_.config().cpu_device_hop, [this, endpoint, core]() {
+    Endpoint& ep = endpoints_[endpoint];
+    ep.active = true;
+    ep.active_core = core;
+    ep.cold_dispatch_inflight = false;
+  });
+}
+
+void LauberhornNic::DeactivateEndpoint(uint32_t endpoint) {
+  sim_.Schedule(interconnect_.config().cpu_device_hop, [this, endpoint]() {
+    Endpoint& ep = endpoints_[endpoint];
+    ep.active = false;
+    ep.active_core = -1;
+    MaybeRestartCold(ep);
+  });
+}
+
+void LauberhornNic::NoteThreadPlacement(uint32_t endpoint, int core, bool running) {
+  sim_.Schedule(interconnect_.config().cpu_device_hop,
+                [this, endpoint, core, running]() {
+                  Endpoint& ep = endpoints_[endpoint];
+                  if (!ep.active) {
+                    return;  // not in a loop; nothing to mirror
+                  }
+                  ep.active_core = running ? core : -1;
+                });
+}
+
+void LauberhornNic::RequestRetire(uint32_t endpoint) {
+  sim_.Schedule(interconnect_.config().cpu_device_hop, [this, endpoint]() {
+    Endpoint& ep = endpoints_[endpoint];
+    if (ep.waiting.has_value()) {
+      FillWaiting(ep, LineKind::kRetire);
+      ep.active = false;
+      ep.active_core = -1;
+      MaybeRestartCold(ep);
+    } else {
+      ep.retire_requested = true;
+    }
+  });
+}
+
+void LauberhornNic::SoftwareTransmit(uint64_t request_id, RpcMessage response) {
+  // Models the uncached-write handoff from the dispatcher runtime to the TX
+  // engine: one device hop, then regular TX.
+  sim_.Schedule(interconnect_.config().cpu_device_hop,
+                [this, request_id, response = std::move(response)]() mutable {
+                  auto it = cold_inflight_.find(request_id);
+                  if (it == cold_inflight_.end()) {
+                    return;  // duplicate or unknown; drop
+                  }
+                  PreparedRequest meta = std::move(it->second);
+                  cold_inflight_.erase(it);
+                  // The cold dispatch is complete. If the runtime did not (or
+                  // could not) enter the user loop, drain any queued work for
+                  // this endpoint through the cold path again.
+                  Endpoint& ep = endpoints_[meta.endpoint];
+                  ep.cold_dispatch_inflight = false;
+                  TransmitResponse(meta, std::move(response));
+                  MaybeRestartCold(ep);
+                });
+}
+
+// -- RX pipeline ---------------------------------------------------------------
+
+void LauberhornNic::ReceivePacket(Packet packet) {
+  if (on_wire_rx) {
+    on_wire_rx(packet);
+  }
+  const SimTime arrival = sim_.Now();
+  const Duration front_cost = config_.pipeline.mac_rx +
+                              3 * config_.pipeline.parse_per_header +
+                              config_.pipeline.demux_lookup;
+  sim_.Schedule(front_cost, [this, arrival, packet = std::move(packet)]() mutable {
+    const auto frame = ParseUdpFrame(packet);
+    if (!frame.has_value()) {
+      ++stats_.drops_bad_frame;
+      return;
+    }
+    const auto it = port_to_endpoints_.find(frame->udp.dst_port);
+    if (it == port_to_endpoints_.end() || it->second.empty()) {
+      ++stats_.drops_no_endpoint;
+      return;
+    }
+    const uint32_t ep_id = PickEndpoint(it->second);
+    Endpoint& ep = endpoints_[ep_id];
+    trace_.Emit(sim_.Now(), TraceEvent::kWireRx, ep_id, 0);
+    const auto request = DecodeRpcMessage(frame->payload);
+    if (!request.has_value()) {
+      ++stats_.drops_bad_frame;
+      return;
+    }
+    if (ep.is_continuation) {
+      // A nested RPC's reply (§6): deliver the response payload to whoever
+      // parks on the continuation's control line. No service/method demux.
+      if (request->kind != MessageKind::kResponse || !ep.in_use) {
+        ++stats_.drops_no_endpoint;
+        return;
+      }
+      PreparedRequest reply;
+      reply.endpoint = ep_id;
+      reply.service_id = request->service_id;
+      reply.method_id = request->method_id;
+      reply.request_id = request->request_id;
+      reply.args = request->payload;
+      if (config_.crypto && !reply.args.empty()) {
+        auto opened = OpenPayload(
+            DeriveKey(config_.crypto_root_key, request->service_id), reply.args);
+        if (!opened.has_value()) {
+          ++stats_.crypto_failures;
+          return;
+        }
+        reply.args = std::move(*opened);
+      }
+      reply.eth = frame->eth;
+      reply.ip = frame->ip;
+      reply.udp = frame->udp;
+      reply.wire_arrival = arrival;
+      const Duration tail = config_.pipeline.UnmarshalCost(reply.args.size()) +
+                            config_.pipeline.dispatch_decide;
+      sim_.Schedule(tail, [this, reply = std::move(reply)]() mutable {
+        DispatchPrepared(std::move(reply));
+      });
+      return;
+    }
+    if (request->kind != MessageKind::kRequest) {
+      ++stats_.drops_bad_frame;
+      return;
+    }
+    const ServiceDef* service = services_.Find(ep.service_id);
+    const MethodDef* method =
+        service != nullptr ? service->FindMethod(request->method_id) : nullptr;
+    if (method == nullptr) {
+      ++stats_.drops_no_endpoint;
+      return;
+    }
+    // Inline crypto engine: open the sealed payload (§6).
+    std::vector<uint8_t> plaintext = request->payload;
+    Duration crypto_cost = 0;
+    if (config_.crypto) {
+      auto opened = OpenPayload(DeriveKey(config_.crypto_root_key, ep.service_id),
+                                request->payload);
+      if (!opened.has_value()) {
+        ++stats_.crypto_failures;
+        return;
+      }
+      plaintext = std::move(*opened);
+      crypto_cost = config_.pipeline.CryptoCost(request->payload.size());
+    }
+
+    // NIC-side unmarshal/validation (the deserialization accelerator).
+    std::vector<WireValue> args_check;
+    if (!UnmarshalArgs(method->request_sig, plaintext, args_check)) {
+      ++stats_.drops_bad_args;
+      return;
+    }
+
+    PreparedRequest prepared;
+    prepared.endpoint = ep_id;
+    prepared.service_id = request->service_id;
+    prepared.method_id = request->method_id;
+    prepared.request_id = request->request_id;
+    prepared.args = std::move(plaintext);
+    prepared.eth = frame->eth;
+    prepared.ip = frame->ip;
+    prepared.udp = frame->udp;
+    prepared.wire_arrival = arrival;
+
+    // Arrival-rate EWMA for the scaling policy (§5.2).
+    if (ep.arrivals > 0) {
+      const Duration gap = sim_.Now() - ep.last_arrival;
+      if (gap > 0) {
+        ep.arrival_rate.Update(static_cast<double>(kSecond) / static_cast<double>(gap));
+      }
+    }
+    ep.last_arrival = sim_.Now();
+    ++ep.arrivals;
+
+    const Duration tail_cost = crypto_cost +
+                               config_.pipeline.UnmarshalCost(prepared.args.size()) +
+                               config_.pipeline.dispatch_decide;
+    sim_.Schedule(tail_cost, [this, prepared = std::move(prepared)]() mutable {
+      DispatchPrepared(std::move(prepared));
+    });
+  });
+}
+
+uint32_t LauberhornNic::PickEndpoint(const std::vector<uint32_t>& candidates) const {
+  // Prefer a stalled core (zero-latency dispatch), then the active endpoint
+  // with the shortest NIC-side queue. If even that queue is deep, spill to an
+  // inactive endpoint — the cold path recruits another core (§5.2's dynamic
+  // scaling, driven by the NIC's own load statistics).
+  for (uint32_t id : candidates) {
+    if (endpoints_[id].waiting.has_value()) {
+      return id;
+    }
+  }
+  uint32_t best = candidates[0];
+  size_t best_depth = SIZE_MAX;
+  bool found_active = false;
+  for (uint32_t id : candidates) {
+    const Endpoint& ep = endpoints_[id];
+    if ((ep.active || ep.cold_dispatch_inflight) && ep.pending.size() < best_depth) {
+      best = id;
+      best_depth = ep.pending.size();
+      found_active = true;
+    }
+  }
+  if (found_active && best_depth >= config_.params.spillover_queue_depth) {
+    for (uint32_t id : candidates) {
+      const Endpoint& ep = endpoints_[id];
+      if (!ep.active && !ep.cold_dispatch_inflight) {
+        return id;  // recruit another core
+      }
+    }
+  }
+  if (found_active) {
+    return best;
+  }
+  return candidates[0];
+}
+
+void LauberhornNic::MaybeRestartCold(Endpoint& ep) {
+  if (ep.active || ep.cold_dispatch_inflight || ep.pending.empty()) {
+    return;
+  }
+  PreparedRequest request = std::move(ep.pending.front());
+  ep.pending.pop_front();
+  RouteCold(std::move(request));
+}
+
+void LauberhornNic::DispatchPrepared(PreparedRequest request) {
+  Endpoint& ep = endpoints_[request.endpoint];
+  if (ep.is_continuation) {
+    // One-shot reply delivery: fill the parked load, or hold until the core
+    // parks (the reply can race the park by a few hops). Never cold.
+    if (ep.waiting.has_value()) {
+      ++stats_.hot_dispatches;
+      trace_.Emit(sim_.Now(), TraceEvent::kDispatchHot, ep.id,
+                  static_cast<uint32_t>(request.request_id));
+      DeliverToWaiting(ep, std::move(request));
+    } else {
+      ep.pending.push_back(std::move(request));
+    }
+    return;
+  }
+  if (ep.waiting.has_value()) {
+    ++stats_.hot_dispatches;
+    trace_.Emit(sim_.Now(), TraceEvent::kDispatchHot, ep.id,
+                static_cast<uint32_t>(request.request_id));
+    DeliverToWaiting(ep, std::move(request));
+    return;
+  }
+  if (ep.active || ep.outstanding.has_value() || !ep.pending.empty() ||
+      ep.cold_dispatch_inflight) {
+    if (ep.pending.size() >= config_.params.endpoint_queue_depth) {
+      ++stats_.drops_queue_full;
+      RpcMessage overload;
+      overload.kind = MessageKind::kResponse;
+      overload.status = RpcStatus::kOverloaded;
+      overload.service_id = request.service_id;
+      overload.method_id = request.method_id;
+      overload.request_id = request.request_id;
+      TransmitResponse(request, std::move(overload));
+      return;
+    }
+    ++stats_.queued_dispatches;
+    trace_.Emit(sim_.Now(), TraceEvent::kDispatchQueued, ep.id,
+                static_cast<uint32_t>(request.request_id));
+    ep.pending.push_back(std::move(request));
+    return;
+  }
+  RouteCold(std::move(request));
+}
+
+void LauberhornNic::RouteCold(PreparedRequest request) {
+  Endpoint& ep = endpoints_[request.endpoint];
+  ep.cold_dispatch_inflight = true;
+  trace_.Emit(sim_.Now(), TraceEvent::kDispatchCold, ep.id,
+              static_cast<uint32_t>(request.request_id));
+  for (size_t i = 0; i < config_.num_kernel_channels; ++i) {
+    Endpoint& channel = endpoints_[i];
+    if (channel.in_use && channel.waiting.has_value()) {
+      ++stats_.cold_dispatches;
+      DeliverToKernelChannel(channel, std::move(request));
+      return;
+    }
+  }
+  ++stats_.cold_queued;
+  cold_queue_.push_back(std::move(request));
+  if (on_need_dispatcher) {
+    ++stats_.dispatcher_wakeups;
+    on_need_dispatcher();
+  }
+}
+
+DispatchLine LauberhornNic::BuildDispatch(const Endpoint& ep,
+                                          const PreparedRequest& request,
+                                          bool kernel_channel) {
+  const Endpoint& target = endpoints_[request.endpoint];
+  DispatchLine line;
+  line.kind = kernel_channel ? LineKind::kKernelDispatch : LineKind::kRpcDispatch;
+  line.method_id = request.method_id;
+  line.service_id = target.service_id;
+  line.request_id = request.request_id;
+  line.code_ptr = target.code_ptr;
+  line.data_ptr = target.data_ptr;
+  line.arg_len = static_cast<uint32_t>(request.args.size());
+  line.endpoint_id = static_cast<uint16_t>(request.endpoint);
+  line.pid = target.pid;
+
+  const size_t inline_cap = DispatchLine::InlineCapacity(line_size());
+  const size_t total_cap = inline_cap + AuxCapacityBytes();
+  bool use_dma = false;
+  switch (config_.large_policy) {
+    case LargeTransferPolicy::kForceDma:
+      use_dma = request.args.size() > inline_cap;
+      break;
+    case LargeTransferPolicy::kForceCacheline:
+      use_dma = false;
+      break;
+    case LargeTransferPolicy::kAuto:
+      use_dma = request.args.size() > config_.params.dma_fallback_bytes ||
+                request.args.size() > total_cap;
+      break;
+  }
+  if (use_dma && target.dma_buffer_iova == 0) {
+    use_dma = false;  // no buffer registered; fall back to lines
+  }
+  if (use_dma) {
+    line.via_dma = true;
+    line.data_ptr = target.dma_buffer_iova;
+    return line;
+  }
+  assert(request.args.size() <= total_cap && "args exceed AUX capacity");
+  const size_t inline_bytes = std::min(inline_cap, request.args.size());
+  line.inline_args.assign(request.args.begin(), request.args.begin() + inline_bytes);
+  // Overflow goes into the line_store AUX lines of the endpoint whose lines
+  // carry this delivery (the kernel channel's for cold dispatch).
+  size_t remaining = request.args.size() - inline_bytes;
+  size_t aux = 0;
+  size_t cursor = inline_bytes;
+  while (remaining > 0) {
+    const size_t chunk = std::min(remaining, line_size());
+    LineData& aux_line = StoredLine(AuxAddr(ep.id, aux));
+    std::fill(aux_line.begin(), aux_line.end(), 0);
+    std::copy(request.args.begin() + cursor, request.args.begin() + cursor + chunk,
+              aux_line.begin());
+    cursor += chunk;
+    remaining -= chunk;
+    ++aux;
+  }
+  line.aux_lines = static_cast<uint8_t>(aux);
+  return line;
+}
+
+void LauberhornNic::DeliverToWaiting(Endpoint& ep, PreparedRequest request) {
+  assert(ep.waiting.has_value());
+  WaitingLoad waiting = std::move(*ep.waiting);
+  ep.waiting.reset();
+  if (waiting.tryagain_event != kInvalidEventId) {
+    sim_.Cancel(waiting.tryagain_event);
+  }
+  const DispatchLine dispatch = BuildDispatch(ep, request, /*kernel_channel=*/false);
+  LineData line = dispatch.Encode(line_size());
+  StoredLine(CtrlAddr(ep.id, waiting.parity)) = line;
+  ep.outstanding = OutstandingRequest{waiting.parity, std::move(request)};
+
+  if (dispatch.via_dma) {
+    ++stats_.dma_fallback_rx;
+    // Push the args into host memory before releasing the core.
+    pcie_.DeviceDmaWrite(dispatch.data_ptr, ep.outstanding->request.args,
+                         [fill = std::move(waiting.fill), line = std::move(line)]() mutable {
+                           fill(std::move(line));
+                         });
+    return;
+  }
+  waiting.fill(std::move(line));
+}
+
+void LauberhornNic::DeliverToKernelChannel(Endpoint& channel, PreparedRequest request) {
+  assert(channel.waiting.has_value());
+  WaitingLoad waiting = std::move(*channel.waiting);
+  channel.waiting.reset();
+  if (waiting.tryagain_event != kInvalidEventId) {
+    sim_.Cancel(waiting.tryagain_event);
+  }
+  const DispatchLine dispatch = BuildDispatch(channel, request, /*kernel_channel=*/true);
+  LineData line = dispatch.Encode(line_size());
+  StoredLine(CtrlAddr(channel.id, waiting.parity)) = line;
+  const uint64_t request_id = request.request_id;
+  const uint64_t dma_iova = dispatch.data_ptr;
+  std::vector<uint8_t> args = request.args;
+  cold_inflight_[request_id] = std::move(request);
+
+  if (dispatch.via_dma) {
+    ++stats_.dma_fallback_rx;
+    pcie_.DeviceDmaWrite(dma_iova, args,
+                         [fill = std::move(waiting.fill), line = std::move(line)]() mutable {
+                           fill(std::move(line));
+                         });
+    return;
+  }
+  waiting.fill(std::move(line));
+}
+
+void LauberhornNic::FillWaiting(Endpoint& ep, LineKind kind) {
+  assert(ep.waiting.has_value());
+  WaitingLoad waiting = std::move(*ep.waiting);
+  ep.waiting.reset();
+  if (waiting.tryagain_event != kInvalidEventId) {
+    sim_.Cancel(waiting.tryagain_event);
+  }
+  DispatchLine line;
+  line.kind = kind;
+  line.endpoint_id = static_cast<uint16_t>(ep.id);
+  if (kind == LineKind::kTryAgain) {
+    ++stats_.tryagains;
+    trace_.Emit(sim_.Now(), TraceEvent::kTryAgain, ep.id);
+  } else if (kind == LineKind::kRetire) {
+    ++stats_.retires;
+    trace_.Emit(sim_.Now(), TraceEvent::kRetire, ep.id);
+  }
+  waiting.fill(line.Encode(line_size()));
+}
+
+void LauberhornNic::ArmTryagain(Endpoint& ep) {
+  assert(ep.waiting.has_value());
+  const Duration timeout = ep.is_kernel ? config_.params.kernel_tryagain_timeout
+                                        : config_.params.tryagain_timeout;
+  const uint32_t ep_id = ep.id;
+  ep.waiting->tryagain_event = sim_.Schedule(timeout, [this, ep_id]() {
+    Endpoint& endpoint = endpoints_[ep_id];
+    if (!endpoint.waiting.has_value()) {
+      return;  // already answered
+    }
+    endpoint.waiting->tryagain_event = kInvalidEventId;
+    FillWaiting(endpoint, LineKind::kTryAgain);
+    if (endpoint.is_kernel) {
+      // The dispatcher kthread will yield back to the scheduler.
+      endpoint.active = false;
+    }
+  });
+}
+
+// -- Coherence-side (home agent) --------------------------------------------------
+
+void LauberhornNic::OnHomeRead(AgentId requester, LineAddr addr, bool exclusive,
+                               FillFn fill) {
+  LineRole role = Decode(addr);
+  if (role.endpoint == nullptr) {
+    fill(LineData(line_size(), 0));
+    return;
+  }
+  if (exclusive || !role.is_ctrl) {
+    // RFO for a response write, or an AUX-line read: answer from the store.
+    fill(StoredLine(addr));
+    return;
+  }
+  HandleCtrlPoll(*role.endpoint, role.parity, requester, std::move(fill));
+}
+
+void LauberhornNic::HandleCtrlPoll(Endpoint& ep, int parity, AgentId requester,
+                                   FillFn fill) {
+  // A load on the *other* control line signals that the response to the
+  // outstanding request is ready in its line: collect and transmit it.
+  if (ep.outstanding.has_value() && ep.outstanding->parity != parity) {
+    OutstandingRequest done = std::move(*ep.outstanding);
+    ep.outstanding.reset();
+    CollectResponse(ep, std::move(done));
+  }
+  if (ep.retire_requested) {
+    ep.retire_requested = false;
+    ep.waiting = WaitingLoad{std::move(fill), requester, parity, kInvalidEventId};
+    FillWaiting(ep, LineKind::kRetire);
+    ep.active = false;
+    ep.active_core = -1;
+    MaybeRestartCold(ep);
+    return;
+  }
+  // The NIC can infer from the load that this core is polling here (§4).
+  ep.active = true;
+  ep.active_core = static_cast<int>(requester);
+
+  ep.waiting = WaitingLoad{std::move(fill), requester, parity, kInvalidEventId};
+  if (ep.is_kernel) {
+    if (!cold_queue_.empty()) {
+      PreparedRequest request = std::move(cold_queue_.front());
+      cold_queue_.pop_front();
+      ++stats_.cold_dispatches;
+      DeliverToKernelChannel(ep, std::move(request));
+      return;
+    }
+  } else if (!ep.pending.empty()) {
+    PreparedRequest request = std::move(ep.pending.front());
+    ep.pending.pop_front();
+    ++stats_.hot_dispatches;
+    DeliverToWaiting(ep, std::move(request));
+    return;
+  }
+  ArmTryagain(ep);
+}
+
+void LauberhornNic::CollectResponse(Endpoint& ep, OutstandingRequest outstanding) {
+  const LineAddr ctrl = CtrlAddr(ep.id, outstanding.parity);
+  const uint32_t ep_id = ep.id;
+  interconnect_.FetchExclusive(
+      home_id_, ctrl, StoredLine(ctrl),
+      [this, ep_id, ctrl, outstanding = std::move(outstanding)](LineData data) mutable {
+        StoredLine(ctrl) = data;
+        const auto response_line = ResponseLine::Decode(data);
+        RpcMessage response;
+        response.kind = MessageKind::kResponse;
+        response.service_id = outstanding.request.service_id;
+        response.method_id = outstanding.request.method_id;
+        response.request_id = outstanding.request.request_id;
+        if (!response_line.has_value() ||
+            response_line->kind != LineKind::kResponse) {
+          response.status = RpcStatus::kInternal;
+          TransmitResponse(outstanding.request, std::move(response));
+          return;
+        }
+        response.status = static_cast<RpcStatus>(response_line->status);
+        Endpoint& ep2 = endpoints_[ep_id];
+
+        if (response_line->via_dma) {
+          ++stats_.dma_fallback_tx;
+          pcie_.DeviceDmaRead(
+              ep2.dma_buffer_iova + kDmaBufferRespOffset, response_line->resp_len,
+              [this, outstanding = std::move(outstanding),
+               response = std::move(response)](std::vector<uint8_t> payload) mutable {
+                response.payload = std::move(payload);
+                TransmitResponse(outstanding.request, std::move(response));
+              });
+          return;
+        }
+
+        response.payload = response_line->inline_payload;
+        const size_t remaining =
+            response_line->resp_len > response.payload.size()
+                ? response_line->resp_len - response.payload.size()
+                : 0;
+        if (remaining == 0) {
+          TransmitResponse(outstanding.request, std::move(response));
+          return;
+        }
+        // Pull the AUX lines the CPU wrote, keeping at most
+        // device_fetch_window transactions in flight (the fetch engine's
+        // parallelism bounds multi-line response bandwidth, §6).
+        const size_t aux_count = (remaining + line_size() - 1) / line_size();
+        auto payload_parts = std::make_shared<std::vector<LineData>>(aux_count);
+        auto pending = std::make_shared<size_t>(aux_count);
+        auto next_index = std::make_shared<size_t>(0);
+        auto meta = std::make_shared<PreparedRequest>(outstanding.request);
+        auto resp = std::make_shared<RpcMessage>(std::move(response));
+        const size_t resp_len = response_line->resp_len;
+        auto issue = std::make_shared<std::function<void()>>();
+        *issue = [this, ep_id, aux_count, payload_parts, pending, next_index, meta,
+                  resp, resp_len, issue]() {
+          if (*next_index >= aux_count) {
+            return;
+          }
+          const size_t i = (*next_index)++;
+          const LineAddr aux_addr = AuxAddr(ep_id, i);
+          interconnect_.FetchExclusive(
+              home_id_, aux_addr, StoredLine(aux_addr),
+              [this, i, payload_parts, pending, meta, resp, resp_len, aux_addr,
+               issue](LineData aux_data) {
+                StoredLine(aux_addr) = aux_data;
+                (*payload_parts)[i] = std::move(aux_data);
+                if (--*pending == 0) {
+                  for (const LineData& part : *payload_parts) {
+                    resp->payload.insert(resp->payload.end(), part.begin(), part.end());
+                  }
+                  resp->payload.resize(resp_len);
+                  TransmitResponse(*meta, std::move(*resp));
+                  return;
+                }
+                (*issue)();  // refill the window
+              });
+        };
+        const size_t window =
+            std::min(aux_count, interconnect_.config().device_fetch_window);
+        for (size_t w = 0; w < window; ++w) {
+          (*issue)();
+        }
+      });
+}
+
+void LauberhornNic::TransmitResponse(const PreparedRequest& meta, RpcMessage response) {
+  Duration crypto_cost = 0;
+  if (config_.crypto && !response.payload.empty()) {
+    const uint32_t service_id = endpoints_[meta.endpoint].is_continuation
+                                    ? response.service_id
+                                    : endpoints_[meta.endpoint].service_id;
+    response.payload = SealPayload(DeriveKey(config_.crypto_root_key, service_id),
+                                   response.request_id ^ 0x5a5a, response.payload);
+    crypto_cost = config_.pipeline.CryptoCost(response.payload.size());
+  }
+  std::vector<uint8_t> payload;
+  EncodeRpcMessage(response, payload);
+  EthernetHeader eth;
+  eth.dst = meta.eth.src;
+  eth.src = meta.eth.dst;
+  Ipv4Header ip;
+  ip.src = meta.ip.dst;
+  ip.dst = meta.ip.src;
+  UdpHeader udp;
+  udp.src_port = meta.udp.dst_port;
+  udp.dst_port = meta.udp.src_port;
+  Packet out = BuildUdpFrame(eth, ip, udp, payload);
+  trace_.Emit(sim_.Now(), TraceEvent::kWireTx, meta.endpoint,
+              static_cast<uint32_t>(response.request_id));
+  if (meta.wire_arrival > 0) {
+    Endpoint& ep = endpoints_[meta.endpoint];
+    if (ep.latency == nullptr) {
+      ep.latency = std::make_unique<Histogram>();
+    }
+    ep.latency->Record(sim_.Now() - meta.wire_arrival);
+  }
+  if (ip.dst == config_.own_ip) {
+    // Reply to a nested (hairpinned) request: back through the RX pipeline.
+    sim_.Schedule(crypto_cost + config_.pipeline.tx_fixed + config_.hairpin_latency,
+                  [this, out = std::move(out)]() mutable {
+                    ++stats_.responses_sent;
+                    ReceivePacket(std::move(out));
+                  });
+    return;
+  }
+  sim_.Schedule(crypto_cost + config_.pipeline.tx_fixed,
+                [this, out = std::move(out)]() mutable {
+    ++stats_.responses_sent;
+    if (on_wire_tx) {
+      on_wire_tx(out);
+    }
+    if (tx_wire_ != nullptr) {
+      tx_wire_->Send(std::move(out));
+    }
+  });
+}
+
+void LauberhornNic::OnHomeWriteBack(AgentId /*from*/, LineAddr addr, LineData data) {
+  data.resize(line_size());
+  line_store_[addr] = std::move(data);
+}
+
+void LauberhornNic::OnHomeUncachedWrite(AgentId /*from*/, LineAddr addr, size_t offset,
+                                        std::vector<uint8_t> data) {
+  LineData& line = StoredLine(addr);
+  assert(offset + data.size() <= line.size());
+  std::copy(data.begin(), data.end(), line.begin() + static_cast<long>(offset));
+}
+
+size_t LauberhornNic::QueueDepth(uint32_t endpoint) const {
+  return endpoints_[endpoint].pending.size();
+}
+
+double LauberhornNic::ArrivalRate(uint32_t endpoint) const {
+  return endpoints_[endpoint].arrival_rate.value();
+}
+
+bool LauberhornNic::EndpointActive(uint32_t endpoint) const {
+  return endpoints_[endpoint].active;
+}
+
+std::string LauberhornNic::DebugReport() {
+  std::string out = "LauberhornNic endpoints:\n";
+  char line[256];
+  for (const Endpoint& ep : endpoints_) {
+    if (!ep.in_use) {
+      continue;
+    }
+    const char* kind = ep.is_kernel ? "kernel" : ep.is_continuation ? "cont" : "svc";
+    std::snprintf(line, sizeof(line),
+                  "  ep=%u kind=%-6s svc=%u pid=%u %s%s queue=%zu rate=%.0f/s %s\n",
+                  ep.id, kind, ep.service_id, ep.pid, ep.active ? "active" : "idle",
+                  ep.waiting.has_value() ? "+parked" : "", ep.pending.size(),
+                  ep.arrival_rate.value(),
+                  ep.latency != nullptr ? ep.latency->Summary().c_str() : "no-traffic");
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  totals: hot=%llu queued=%llu cold=%llu tryagain=%llu retire=%llu "
+                "tx=%llu drops=%llu\n",
+                static_cast<unsigned long long>(stats_.hot_dispatches),
+                static_cast<unsigned long long>(stats_.queued_dispatches),
+                static_cast<unsigned long long>(stats_.cold_dispatches),
+                static_cast<unsigned long long>(stats_.tryagains),
+                static_cast<unsigned long long>(stats_.retires),
+                static_cast<unsigned long long>(stats_.responses_sent),
+                static_cast<unsigned long long>(
+                    stats_.drops_bad_frame + stats_.drops_no_endpoint +
+                    stats_.drops_bad_args + stats_.drops_queue_full));
+  out += line;
+  return out;
+}
+
+const Histogram& LauberhornNic::EndpointLatency(uint32_t endpoint) {
+  Endpoint& ep = endpoints_[endpoint];
+  if (ep.latency == nullptr) {
+    ep.latency = std::make_unique<Histogram>();
+  }
+  return *ep.latency;
+}
+
+}  // namespace lauberhorn

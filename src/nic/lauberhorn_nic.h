@@ -1,0 +1,310 @@
+// The Lauberhorn NIC: a network interface that is part of the OS (§4-§5).
+//
+// The NIC is a home agent on the coherent interconnect. Each RPC endpoint is
+// a pair of CONTROL cache lines plus AUX lines homed on the NIC (Fig. 4):
+//
+//  * A core issues a (non-caching, blocking) load on CONTROL[p]; the NIC
+//    defers the fill until a request is ready, then answers with a
+//    DispatchLine: code pointer, data pointer, and the arguments.
+//  * The core runs the handler, stores the ResponseLine into CONTROL[p]
+//    (acquiring ownership from the NIC), and loads CONTROL[1-p] for the next
+//    request. The NIC interprets that load as "response ready": it pulls
+//    CONTROL[p] with a coherence fetch-exclusive and transmits the response.
+//  * A fill deferred close to the coherence timeout is answered with
+//    TRYAGAIN (§5.1); a RETIRE answer gives the core back to the OS (§5.2).
+//
+// The NIC mirrors OS scheduling state (pushed over the same interconnect) to
+// decide, per packet, between the hot path (fill a stalled core), queueing
+// (endpoint active but busy), and the cold path (deliver to a kernel control
+// channel so the OS can schedule the process). It keeps per-endpoint load
+// statistics and asks the OS for more or fewer cores.
+//
+// Large payloads revert to DMA through the PCIe substrate (§6).
+#ifndef SRC_NIC_LAUBERHORN_NIC_H_
+#define SRC_NIC_LAUBERHORN_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/coherence/interconnect.h"
+#include "src/net/headers.h"
+#include "src/net/link.h"
+#include "src/nic/cost_model.h"
+#include "src/nic/dispatch_line.h"
+#include "src/os/kernel.h"
+#include "src/pcie/pcie_link.h"
+#include "src/proto/cipher.h"
+#include "src/proto/rpc_message.h"
+#include "src/proto/service.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+#include "src/stats/trace.h"
+
+namespace lauberhorn {
+
+// How the NIC moves payloads that exceed the AUX capacity.
+enum class LargeTransferPolicy {
+  kAuto,            // cache lines up to dma_fallback_bytes, then DMA (§6)
+  kForceCacheline,  // always cache lines (for the crossover experiment)
+  kForceDma,        // always DMA
+};
+
+// Byte offset of the response region inside an endpoint's DMA buffer (the
+// first half carries request args, the second half responses).
+inline constexpr uint64_t kDmaBufferRespOffset = 64 * 1024;
+inline constexpr uint64_t kDmaBufferSize = 128 * 1024;
+
+class LauberhornNic : public HomeAgent, public PacketSink {
+ public:
+  struct Config {
+    LineAddr base = 0x1'0000'0000;  // must not overlap host memory
+    size_t num_endpoints = 64;       // service endpoints
+    size_t num_kernel_channels = 8;  // kernel control channels (≈ #cores)
+    // Continuation endpoints (§6): lightweight one-shot endpoints a handler
+    // grabs to receive the reply of a nested RPC.
+    size_t num_continuations = 32;
+    uint16_t continuation_port_base = 50000;
+    // This NIC's own L3 identity; nested RPCs addressed to it hairpin
+    // through the TX/RX pipelines instead of the wire.
+    uint32_t own_ip = MakeIpv4(10, 0, 0, 2);
+    Duration hairpin_latency = Nanoseconds(150);
+    // Inline crypto engine (§6): open request payloads / seal responses with
+    // per-service keys.
+    bool crypto = false;
+    uint64_t crypto_root_key = 0;
+    NicPipelineCosts pipeline;
+    LauberhornParams params;
+    LargeTransferPolicy large_policy = LargeTransferPolicy::kAuto;
+  };
+
+  struct Stats {
+    uint64_t hot_dispatches = 0;     // filled a stalled load directly
+    uint64_t queued_dispatches = 0;  // endpoint active but busy: NIC-side queue
+    uint64_t cold_dispatches = 0;    // delivered via a kernel channel
+    uint64_t cold_queued = 0;        // waiting for a dispatcher to arrive
+    uint64_t tryagains = 0;
+    uint64_t retires = 0;
+    uint64_t drops_queue_full = 0;
+    uint64_t drops_bad_frame = 0;
+    uint64_t drops_no_endpoint = 0;
+    uint64_t drops_bad_args = 0;
+    uint64_t responses_sent = 0;
+    uint64_t dma_fallback_rx = 0;
+    uint64_t dma_fallback_tx = 0;
+    uint64_t dispatcher_wakeups = 0;
+    uint64_t crypto_failures = 0;
+  };
+
+  LauberhornNic(Simulator& sim, CoherentInterconnect& interconnect, PcieLink& pcie,
+                ServiceRegistry& services, Config config);
+
+  const Config& config() const { return config_; }
+
+  void set_tx_wire(LinkDirection* wire) { tx_wire_ = wire; }
+
+  // -- Address layout ------------------------------------------------------
+
+  size_t line_size() const { return interconnect_.config().line_size; }
+  // Lines per endpoint: 2 control + aux.
+  size_t EndpointStrideLines() const { return 2 + config_.params.aux_lines; }
+  LineAddr CtrlAddr(uint32_t endpoint, int parity) const;
+  LineAddr AuxAddr(uint32_t endpoint, size_t index) const;
+  size_t AuxCapacityBytes() const {
+    return config_.params.aux_lines * line_size();
+  }
+
+  // -- Host-facing control interface (§5.2) ----------------------------------
+  // These model uncached register writes from the kernel/runtime; each call
+  // takes effect after one device hop.
+
+  // Binds a service endpoint. `dma_buffer_iova` is a host buffer (mapped in
+  // the IOMMU by the runtime) for large-payload fallback; 0 disables DMA.
+  // Returns the endpoint id.
+  uint32_t AllocateEndpoint(uint32_t service_id, Pid pid, uint64_t code_ptr,
+                            uint64_t data_ptr, uint64_t dma_buffer_iova);
+
+  // The process entered (left) its user-mode poll loop on this endpoint.
+  void ActivateEndpoint(uint32_t endpoint, int core);
+  void DeactivateEndpoint(uint32_t endpoint);
+
+  // §5.2: the kernel pushes scheduling-state changes as they happen ("keep
+  // the NIC updated with the current OS scheduling state"). This only
+  // refreshes which core currently runs the endpoint's thread; loop
+  // entry/exit remains explicit via Activate/Deactivate.
+  void NoteThreadPlacement(uint32_t endpoint, int core, bool running);
+  int EndpointCore(uint32_t endpoint) const { return endpoints_[endpoint].active_core; }
+
+  // Allocates a kernel control channel (id in [0, num_kernel_channels)).
+  uint32_t AllocateKernelChannel();
+
+  // §5.2: ask the parked core on this endpoint to return to the OS. If a
+  // load is waiting it is answered with RETIRE now; otherwise the next one is.
+  void RequestRetire(uint32_t endpoint);
+
+  // Software response path used for cold (kernel-mediated) requests: the
+  // runtime marshals in software and hands the payload to the NIC TX engine.
+  void SoftwareTransmit(uint64_t request_id, RpcMessage response);
+
+  // -- Continuation endpoints for nested RPCs (§6) ----------------------------
+
+  // Grabs a continuation endpoint from the NIC's free list ("rapidly create a
+  // dedicated end-point for an RPC reply"). Returns its id, or nullopt if the
+  // pool is exhausted. The caller parks on CtrlAddr(id, 0) for the reply.
+  std::optional<uint32_t> AllocateContinuation();
+  void FreeContinuation(uint32_t endpoint);
+
+  // Sends a nested RPC request whose reply is routed to `continuation`.
+  // Requests addressed at this machine (dst_ip == 0 or own_ip) hairpin
+  // through the RX pipeline; others go out on the wire.
+  void ClientTransmit(uint32_t continuation, uint32_t dst_ip, uint16_t dst_port,
+                      RpcMessage request);
+
+  // -- OS-side hooks -----------------------------------------------------------
+
+  // Invoked (as a model of an interrupt to the OS) when a cold request is
+  // queued and no kernel channel is armed.
+  std::function<void()> on_need_dispatcher;
+  // Observation hooks for latency tracking.
+  std::function<void(const Packet&)> on_wire_rx;
+  std::function<void(const Packet&)> on_wire_tx;
+
+  // -- Interfaces ---------------------------------------------------------------
+
+  void ReceivePacket(Packet packet) override;  // wire RX
+
+  void OnHomeRead(AgentId requester, LineAddr addr, bool exclusive, FillFn fill) override;
+  void OnHomeWriteBack(AgentId from, LineAddr addr, LineData data) override;
+  void OnHomeUncachedWrite(AgentId from, LineAddr addr, size_t offset,
+                           std::vector<uint8_t> data) override;
+
+  // -- Introspection -------------------------------------------------------------
+
+  const Stats& stats() const { return stats_; }
+  // Event trace ring (§6: tracing/statistics integration).
+  TraceRing& trace() { return trace_; }
+  // Instantaneous queue depth of an endpoint (NIC-side pending requests).
+  size_t QueueDepth(uint32_t endpoint) const;
+  // EWMA arrival rate (requests/s) per endpoint, for the scaling policy.
+  double ArrivalRate(uint32_t endpoint) const;
+  size_t ColdQueueDepth() const { return cold_queue_.size(); }
+  bool EndpointActive(uint32_t endpoint) const;
+  // NIC-maintained per-endpoint end-system latency (empty histogram until
+  // the endpoint served a request).
+  const Histogram& EndpointLatency(uint32_t endpoint);
+  // Human-readable operational snapshot (§6's debugging integration): one
+  // line per in-use endpoint with state, queue depth, arrival rate, and
+  // latency summary, plus the global counters.
+  std::string DebugReport();
+
+ private:
+  struct PreparedRequest {
+    uint32_t endpoint = 0;
+    uint32_t service_id = 0;
+    uint16_t method_id = 0;
+    uint64_t request_id = 0;
+    std::vector<uint8_t> args;  // marshalled & NIC-validated argument bytes
+    // Response addressing.
+    EthernetHeader eth;
+    Ipv4Header ip;
+    UdpHeader udp;
+    SimTime wire_arrival = 0;
+  };
+
+  struct WaitingLoad {
+    FillFn fill;
+    AgentId requester = kNoAgent;
+    int parity = 0;
+    EventId tryagain_event = kInvalidEventId;
+  };
+
+  struct OutstandingRequest {
+    int parity = 0;  // line holding the delivered request / awaited response
+    PreparedRequest request;
+  };
+
+  struct Endpoint {
+    bool in_use = false;
+    bool is_kernel = false;
+    bool is_continuation = false;
+    uint32_t id = 0;
+    uint32_t service_id = 0;
+    Pid pid = kNoPid;
+    uint64_t code_ptr = 0;
+    uint64_t data_ptr = 0;
+    uint64_t dma_buffer_iova = 0;
+    bool active = false;           // a core is in (or entering) the user loop
+    int active_core = -1;
+    bool cold_dispatch_inflight = false;
+    bool retire_requested = false;
+    std::optional<WaitingLoad> waiting;
+    std::optional<OutstandingRequest> outstanding;
+    std::deque<PreparedRequest> pending;
+    // Load statistics (§5.2): EWMA of arrival rate.
+    Ewma arrival_rate{0.2};
+    SimTime last_arrival = 0;
+    uint64_t arrivals = 0;
+    // Per-endpoint end-system latency (§6 statistics): wire arrival to
+    // response transmission, kept by the NIC itself. Lazily allocated.
+    std::unique_ptr<Histogram> latency;
+  };
+
+  // Address decode.
+  struct LineRole {
+    Endpoint* endpoint = nullptr;
+    bool is_ctrl = false;
+    int parity = 0;      // for ctrl lines
+    size_t aux_index = 0;  // for aux lines
+  };
+  LineRole Decode(LineAddr addr);
+  LineData& StoredLine(LineAddr addr);
+
+  void HandleCtrlPoll(Endpoint& ep, int parity, AgentId requester, FillFn fill);
+  void DeliverToWaiting(Endpoint& ep, PreparedRequest request);
+  void DeliverToKernelChannel(Endpoint& channel, PreparedRequest request);
+  void FillWaiting(Endpoint& ep, LineKind kind);  // TRYAGAIN / RETIRE
+  void ArmTryagain(Endpoint& ep);
+  void CollectResponse(Endpoint& ep, OutstandingRequest outstanding);
+  void TransmitResponse(const PreparedRequest& meta, RpcMessage response);
+  void DispatchPrepared(PreparedRequest request);
+  void RouteCold(PreparedRequest request);
+  // Demux: choose which of a service's endpoints receives this request.
+  uint32_t PickEndpoint(const std::vector<uint32_t>& candidates) const;
+  // After an endpoint loses its core, queued work must not strand: restart
+  // via the cold path.
+  void MaybeRestartCold(Endpoint& ep);
+  // Writes args into line_store aux lines / DMA buffer; returns the
+  // DispatchLine describing the delivery.
+  DispatchLine BuildDispatch(const Endpoint& ep, const PreparedRequest& request,
+                             bool kernel_channel);
+
+  Simulator& sim_;
+  CoherentInterconnect& interconnect_;
+  PcieLink& pcie_;
+  ServiceRegistry& services_;
+  Config config_;
+  AgentId home_id_ = kNoAgent;
+  LinkDirection* tx_wire_ = nullptr;
+
+  std::vector<Endpoint> endpoints_;  // [0, num_kernel_channels) are kernel
+  // A service may have several endpoints (one per core it can occupy); the
+  // demux stage picks among them per packet.
+  std::unordered_map<uint16_t, std::vector<uint32_t>> port_to_endpoints_;
+  std::unordered_map<LineAddr, LineData> line_store_;
+  std::deque<PreparedRequest> cold_queue_;
+  // Cold requests handed to a dispatcher, awaiting SoftwareTransmit.
+  std::unordered_map<uint64_t, PreparedRequest> cold_inflight_;
+  uint32_t next_service_endpoint_ = 0;
+  uint32_t next_kernel_channel_ = 0;
+  std::vector<uint32_t> free_continuations_;
+  Stats stats_;
+  TraceRing trace_;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_NIC_LAUBERHORN_NIC_H_

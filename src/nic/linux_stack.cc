@@ -1,0 +1,227 @@
+#include "src/nic/linux_stack.h"
+
+#include <cassert>
+#include <utility>
+
+namespace lauberhorn {
+
+LinuxRpcStack::LinuxRpcStack(Simulator& sim, Kernel& kernel, DmaNic& nic,
+                             DmaNicDriver& driver, Msix& msix, ServiceRegistry& services,
+                             Config config)
+    : sim_(sim),
+      kernel_(kernel),
+      nic_(nic),
+      driver_(driver),
+      msix_(msix),
+      services_(services),
+      config_(config) {}
+
+void LinuxRpcStack::RegisterServiceProcess(const ServiceDef& service) {
+  auto state = std::make_unique<ServiceState>();
+  state->def = &service;
+  state->process = kernel_.CreateProcess(service.name);
+  for (int i = 0; i < config_.worker_threads_per_service; ++i) {
+    state->workers.push_back(
+        kernel_.AddThread(state->process, service.name + "-w" + std::to_string(i)));
+  }
+  state->socket = kernel_.CreateSocket(service.udp_port, state->workers[0]);
+  by_port_[service.udp_port] = std::move(state);
+}
+
+void LinuxRpcStack::Start() {
+  const size_t num_cores = kernel_.num_cores();
+  for (uint32_t q = 0; q < driver_.num_queues(); ++q) {
+    Thread* napi = kernel_.AddThread(kernel_.kernel_process(),
+                                     "napi-" + std::to_string(q),
+                                     /*kernel_priority=*/true);
+    const int irq_core = static_cast<int>(q % num_cores);
+    napi->PinTo(irq_core);
+    softirq_threads_.push_back(napi);
+    msix_.SetHandler(q, [this, q, irq_core]() {
+      // Top half on the IRQ-steered core: ack the device, raise the softirq.
+      kernel_.core(static_cast<size_t>(irq_core)).RaiseIrq([this, q, irq_core]() {
+        Thread* napi = softirq_threads_[q];
+        if (!napi->HasWork()) {
+          napi->PushWork([this, q](Core& core) { NapiPoll(q, core); });
+        }
+        kernel_.scheduler().Wake(napi, irq_core);
+      });
+    });
+  }
+}
+
+void LinuxRpcStack::NapiPoll(uint32_t q, Core& core) {
+  const OsCostModel& costs = kernel_.costs();
+  std::vector<Packet> packets = driver_.Poll(q, config_.napi_budget);
+  if (packets.empty()) {
+    core.Run(costs.napi_poll_fixed, CoreMode::kKernel,
+             [this, &core]() { kernel_.scheduler().OnWorkDone(core); });
+    return;
+  }
+  const Duration per_packet = costs.driver_rx_per_packet + costs.protocol_processing +
+                              costs.socket_lookup + costs.socket_wakeup;
+  const Duration total = costs.softirq_entry +
+                         static_cast<Duration>(packets.size()) * per_packet;
+  core.Run(total, CoreMode::kKernel, [this, q, &core,
+                                      packets = std::move(packets)]() mutable {
+    for (Packet& packet : packets) {
+      const auto frame = ParseUdpFrame(packet);
+      if (!frame.has_value()) {
+        ++bad_requests_;
+        continue;
+      }
+      auto it = by_port_.find(frame->udp.dst_port);
+      if (it == by_port_.end()) {
+        ++bad_requests_;  // no socket bound: ICMP unreachable in real life
+        continue;
+      }
+      ServiceState& state = *it->second;
+      // Deliver the whole frame so the worker can address the response.
+      if (state.socket->Enqueue(std::move(packet.bytes))) {
+        PostWorkerWork(state);
+      }
+    }
+    // More completions waiting: keep the NAPI thread polling (it yields the
+    // core between rounds, so regular scheduling still happens - step (3) in
+    // Fig. 5's traditional loop).
+    Thread* napi = softirq_threads_[q];
+    if (driver_.RxPending(q) && !napi->HasWork()) {
+      napi->PushWork([this, q](Core& inner) { NapiPoll(q, inner); });
+    }
+    kernel_.scheduler().OnWorkDone(core);
+    if (napi->HasWork()) {
+      kernel_.scheduler().Wake(napi, core.index());
+    }
+  });
+}
+
+void LinuxRpcStack::PostWorkerWork(ServiceState& state) {
+  if (!state.socket->HasData()) {
+    return;
+  }
+  for (size_t i = 0; i < state.workers.size(); ++i) {
+    Thread* worker = state.workers[state.next_worker];
+    state.next_worker = (state.next_worker + 1) % state.workers.size();
+    if (worker->state() == ThreadState::kBlocked && !worker->HasWork()) {
+      worker->PushWork([this, &state](Core& core) { WorkerStep(state, core); });
+      kernel_.scheduler().Wake(worker);
+      return;
+    }
+  }
+  // All workers busy: the message waits in the socket queue.
+}
+
+void LinuxRpcStack::WorkerStep(ServiceState& state, Core& core) {
+  if (!state.socket->HasData()) {
+    kernel_.scheduler().OnWorkDone(core);
+    return;
+  }
+  const OsCostModel& costs = kernel_.costs();
+  std::vector<uint8_t> frame_bytes = state.socket->Dequeue();
+  Packet packet;
+  packet.bytes = std::move(frame_bytes);
+  const auto frame = ParseUdpFrame(packet);
+  if (!frame.has_value()) {
+    ++bad_requests_;
+    kernel_.scheduler().OnWorkDone(core);
+    return;
+  }
+  const auto request = DecodeRpcMessage(frame->payload);
+
+  // Step 1: recvmsg syscall + copyout of the payload.
+  const Duration recv_cost = costs.syscall + costs.socket_syscall_path +
+                             costs.CopyCost(frame->payload.size());
+  // Capture addressing for the response before the spans go out of scope.
+  const EthernetHeader req_eth = frame->eth;
+  const Ipv4Header req_ip = frame->ip;
+  const UdpHeader req_udp = frame->udp;
+
+  core.Run(recv_cost, CoreMode::kKernel, [this, &state, &core, request, req_eth, req_ip,
+                                          req_udp]() {
+    const OsCostModel& costs = kernel_.costs();
+    if (!request.has_value() || request->kind != MessageKind::kRequest) {
+      ++bad_requests_;
+      kernel_.scheduler().OnWorkDone(core);
+      return;
+    }
+    // Software transport decryption (charged below as user time).
+    RpcMessage plain = *request;
+    Duration crypto_cost = 0;
+    if (config_.encrypt_rpcs) {
+      auto opened = OpenPayload(
+          DeriveKey(config_.crypto_root_key, state.def->service_id), plain.payload);
+      crypto_cost += costs.SwCryptoCost(plain.payload.size());
+      if (!opened.has_value()) {
+        ++bad_requests_;
+        kernel_.scheduler().OnWorkDone(core);
+        return;
+      }
+      plain.payload = std::move(*opened);
+    }
+    const MethodDef* method = state.def->FindMethod(plain.method_id);
+    RpcMessage response;
+    response.kind = MessageKind::kResponse;
+    response.service_id = plain.service_id;
+    response.method_id = plain.method_id;
+    response.request_id = plain.request_id;
+
+    Duration user_cost = crypto_cost;
+    if (method == nullptr) {
+      response.status = RpcStatus::kNoSuchMethod;
+    } else {
+      std::vector<WireValue> args;
+      if (!UnmarshalArgs(method->request_sig, plain.payload, args)) {
+        response.status = RpcStatus::kBadArguments;
+        user_cost += costs.SwMarshalCost(plain.payload.size());
+      } else {
+        // Software unmarshal + handler + software marshal.
+        user_cost += costs.SwMarshalCost(plain.payload.size());
+        const std::vector<WireValue> result = method->handler(args);
+        user_cost += method->service_time(args);
+        MarshalArgs(method->response_sig, result, response.payload);
+        user_cost += costs.SwMarshalCost(response.payload.size());
+      }
+    }
+    if (config_.encrypt_rpcs && !response.payload.empty()) {
+      user_cost += costs.SwCryptoCost(response.payload.size());
+      response.payload =
+          SealPayload(DeriveKey(config_.crypto_root_key, state.def->service_id),
+                      response.request_id ^ 0x5a5a, response.payload);
+    }
+
+    core.Run(user_cost, CoreMode::kUser, [this, &state, &core, response, req_eth, req_ip,
+                                          req_udp]() {
+      // Step 3: sendmsg syscall + copyin + driver TX.
+      std::vector<uint8_t> payload;
+      EncodeRpcMessage(response, payload);
+      EthernetHeader eth;
+      eth.dst = req_eth.src;
+      eth.src = req_eth.dst;
+      Ipv4Header ip;
+      ip.src = req_ip.dst;
+      ip.dst = req_ip.src;
+      UdpHeader udp;
+      udp.src_port = req_udp.dst_port;
+      udp.dst_port = req_udp.src_port;
+      const Packet out = BuildUdpFrame(eth, ip, udp, payload);
+      const OsCostModel& costs2 = kernel_.costs();
+      const Duration send_cost = costs2.syscall + costs2.socket_syscall_path +
+                                 costs2.CopyCost(payload.size()) +
+                                 costs2.driver_tx_per_packet;
+      core.Run(send_cost, CoreMode::kKernel, [this, &state, &core, out]() {
+        const uint32_t txq =
+            static_cast<uint32_t>(core.index()) % driver_.num_queues();
+        driver_.Transmit(txq, out.bytes);
+        ++rpcs_completed_;
+        // More messages? Re-arm this worker before yielding.
+        Thread* self = core.current_thread();
+        if (state.socket->HasData() && self != nullptr && !self->HasWork()) {
+          self->PushWork([this, &state](Core& inner) { WorkerStep(state, inner); });
+        }
+        kernel_.scheduler().OnWorkDone(core);
+      });
+    });
+  });
+}
+
+}  // namespace lauberhorn

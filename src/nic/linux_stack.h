@@ -1,0 +1,77 @@
+// The Linux-baseline RPC stack (Fig. 5 left, §2 steps 1-12).
+//
+// On top of the DMA NIC: MSI-X interrupt -> top half -> softirq (NAPI) thread
+// polls the ring, does protocol processing, socket lookup, and wakeup; the
+// scheduler places the service process on a core; the worker performs the
+// recv syscall + copyout, software unmarshalling, the handler, marshalling,
+// and a send syscall back through the driver. Every stage charges the
+// corresponding OsCostModel cost on a real simulated core.
+#ifndef SRC_NIC_LINUX_STACK_H_
+#define SRC_NIC_LINUX_STACK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/headers.h"
+#include "src/nic/dma_nic.h"
+#include "src/os/kernel.h"
+#include "src/proto/cipher.h"
+#include "src/proto/rpc_message.h"
+#include "src/proto/service.h"
+
+namespace lauberhorn {
+
+class LinuxRpcStack {
+ public:
+  struct Config {
+    size_t napi_budget = 64;
+    int worker_threads_per_service = 1;
+    // Software transport crypto (no NIC offload on the Fig. 1 device).
+    bool encrypt_rpcs = false;
+    uint64_t crypto_root_key = 0;
+  };
+
+  LinuxRpcStack(Simulator& sim, Kernel& kernel, DmaNic& nic, DmaNicDriver& driver,
+                Msix& msix, ServiceRegistry& services, Config config);
+
+  // Creates the process, worker thread(s), and socket for a service.
+  void RegisterServiceProcess(const ServiceDef& service);
+
+  // Installs MSI-X handlers and creates the per-queue softirq threads.
+  void Start();
+
+  uint64_t rpcs_completed() const { return rpcs_completed_; }
+  uint64_t bad_requests() const { return bad_requests_; }
+
+ private:
+  struct ServiceState {
+    const ServiceDef* def = nullptr;
+    Process* process = nullptr;
+    std::vector<Thread*> workers;
+    Socket* socket = nullptr;
+    size_t next_worker = 0;   // round-robin message distribution
+  };
+
+  void NapiPoll(uint32_t q, Core& core);
+  void PostWorkerWork(ServiceState& state);
+  void WorkerStep(ServiceState& state, Core& core);
+
+  Simulator& sim_;
+  Kernel& kernel_;
+  DmaNic& nic_;
+  DmaNicDriver& driver_;
+  Msix& msix_;
+  ServiceRegistry& services_;
+  Config config_;
+  std::vector<Thread*> softirq_threads_;  // one per queue
+  std::unordered_map<uint16_t, std::unique_ptr<ServiceState>> by_port_;
+  uint64_t rpcs_completed_ = 0;
+  uint64_t bad_requests_ = 0;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_NIC_LINUX_STACK_H_

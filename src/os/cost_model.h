@@ -1,0 +1,76 @@
+// OS cost model: per-operation CPU costs for the simulated kernel.
+//
+// Values are calibrated to published Linux x86/aarch64 measurements (see
+// DESIGN.md §7) and are deliberately parameters, not constants — benches
+// sweep and ablate them.
+#ifndef SRC_OS_COST_MODEL_H_
+#define SRC_OS_COST_MODEL_H_
+
+#include "src/sim/time.h"
+
+namespace lauberhorn {
+
+struct OsCostModel {
+  // Interrupt entry to handler start (vector + register save + dispatch).
+  Duration irq_entry = Nanoseconds(600);
+  // Typical NIC top-half handler body (ack + schedule NAPI).
+  Duration irq_top_half = Nanoseconds(300);
+  // IPI send-to-receipt between cores.
+  Duration ipi = Nanoseconds(400);
+  // Full context switch between processes (incl. address-space switch).
+  Duration context_switch = MicrosecondsF(1.2);
+  // Switch between threads of the same process.
+  Duration thread_switch = Nanoseconds(300);
+  // Syscall entry+exit (post-KPTI).
+  Duration syscall = Nanoseconds(150);
+  // softirq/NAPI entry.
+  Duration softirq_entry = Nanoseconds(250);
+  // Per-packet IP+UDP protocol processing incl. skb management.
+  Duration protocol_processing = MicrosecondsF(1.5);
+  // Socket demux (hash lookup) per packet.
+  Duration socket_lookup = Nanoseconds(300);
+  // Socket enqueue plus task wakeup.
+  Duration socket_wakeup = MicrosecondsF(1.0);
+  // recvmsg/sendmsg fixed software path (excl. copy).
+  Duration socket_syscall_path = Nanoseconds(700);
+  // Copy bandwidth for copyin/copyout (bytes/ns): ~16 GB/s.
+  double copy_bytes_per_ns = 16.0;
+  // Kernel driver per-packet RX work (descriptor harvest, skb alloc).
+  Duration driver_rx_per_packet = Nanoseconds(250);
+  // Kernel driver per-packet TX work (descriptor fill, doorbell batching).
+  Duration driver_tx_per_packet = Nanoseconds(250);
+  // NAPI poll-loop fixed cost per invocation.
+  Duration napi_poll_fixed = Nanoseconds(150);
+  // Software (un)marshalling: fixed + per-byte (the work Lauberhorn offloads).
+  Duration sw_marshal_fixed = Nanoseconds(150);
+  double sw_marshal_bytes_per_ns = 8.0;
+  // Software AES-GCM (with AES-NI): ~2 GB/s per core.
+  Duration sw_crypto_fixed = Nanoseconds(100);
+  double sw_crypto_bytes_per_ns = 2.0;
+  // Scheduler pick-next cost.
+  Duration sched_pick = Nanoseconds(300);
+  // Scheduler timeslice for preemption between runnable threads.
+  Duration timeslice = Milliseconds(1);
+  // Max uninterruptible chunk of modelled work (preemption granularity).
+  Duration max_run_quantum = Microseconds(50);
+  // Exit from idle/halt state when work arrives.
+  Duration idle_exit = Nanoseconds(200);
+  // Core clock, for cycle accounting.
+  double frequency_ghz = 2.0;
+
+  Duration CopyCost(size_t bytes) const {
+    return NanosecondsF(static_cast<double>(bytes) / copy_bytes_per_ns);
+  }
+  Duration SwMarshalCost(size_t bytes) const {
+    return sw_marshal_fixed +
+           NanosecondsF(static_cast<double>(bytes) / sw_marshal_bytes_per_ns);
+  }
+  Duration SwCryptoCost(size_t bytes) const {
+    return sw_crypto_fixed +
+           NanosecondsF(static_cast<double>(bytes) / sw_crypto_bytes_per_ns);
+  }
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_OS_COST_MODEL_H_

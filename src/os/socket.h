@@ -1,0 +1,54 @@
+// Minimal UDP-datagram socket state held by the kernel: a per-port message
+// queue owned by a thread. The Linux-baseline net stack enqueues here and
+// wakes the owner; overload shows up as queue drops, as in a real socket
+// receive buffer.
+#ifndef SRC_OS_SOCKET_H_
+#define SRC_OS_SOCKET_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/os/process.h"
+
+namespace lauberhorn {
+
+class Socket {
+ public:
+  Socket(uint16_t port, Thread* owner, size_t max_depth = 1024)
+      : port_(port), owner_(owner), max_depth_(max_depth) {}
+
+  uint16_t port() const { return port_; }
+  Thread* owner() const { return owner_; }
+
+  // Returns false (and counts a drop) when the receive buffer is full.
+  bool Enqueue(std::vector<uint8_t> datagram) {
+    if (queue_.size() >= max_depth_) {
+      ++drops_;
+      return false;
+    }
+    queue_.push_back(std::move(datagram));
+    return true;
+  }
+
+  bool HasData() const { return !queue_.empty(); }
+  size_t depth() const { return queue_.size(); }
+  uint64_t drops() const { return drops_; }
+
+  std::vector<uint8_t> Dequeue() {
+    std::vector<uint8_t> d = std::move(queue_.front());
+    queue_.pop_front();
+    return d;
+  }
+
+ private:
+  uint16_t port_;
+  Thread* owner_;
+  size_t max_depth_;
+  std::deque<std::vector<uint8_t>> queue_;
+  uint64_t drops_ = 0;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_OS_SOCKET_H_

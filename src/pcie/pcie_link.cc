@@ -1,0 +1,127 @@
+#include "src/pcie/pcie_link.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace lauberhorn {
+
+PcieLink::PcieLink(Simulator& sim, PcieConfig config, MemoryHomeAgent& host_memory,
+                   Iommu& iommu)
+    : sim_(sim), config_(config), host_memory_(host_memory), iommu_(iommu) {}
+
+Duration PcieLink::ClaimBandwidth(size_t bytes) {
+  // TLP header overhead (~24B per 256B payload) folded into an effective rate.
+  const double effective_gbps = config_.bandwidth_gbps * 0.9;
+  const Duration wire = NanosecondsF(static_cast<double>(bytes) * 8.0 / effective_gbps);
+  const SimTime start = std::max(sim_.Now(), link_free_at_);
+  link_free_at_ = start + wire;
+  return (start - sim_.Now()) + wire;
+}
+
+bool PcieLink::TranslateRange(uint64_t iova, size_t size, std::vector<Chunk>& chunks) {
+  size_t done = 0;
+  while (done < size) {
+    const uint64_t addr = iova + done;
+    const uint64_t page_end = (addr & ~(Iommu::kPageSize - 1)) + Iommu::kPageSize;
+    const size_t chunk_size = std::min<size_t>(size - done, page_end - addr);
+    const auto t = iommu_.Translate(addr, chunk_size);
+    if (!t.has_value()) {
+      return false;
+    }
+    chunks.push_back(Chunk{t->pa, chunk_size, t->cost});
+    done += chunk_size;
+  }
+  return true;
+}
+
+void PcieLink::HostMmioWrite(uint64_t offset, uint64_t value) {
+  ++mmio_writes_;
+  sim_.Schedule(config_.mmio_write, [this, offset, value]() {
+    if (device_ != nullptr) {
+      device_->OnMmioWrite(offset, value);
+    }
+  });
+}
+
+void PcieLink::HostMmioRead(uint64_t offset, std::function<void(uint64_t)> on_done) {
+  ++mmio_reads_;
+  // Half the round trip to reach the device, the rest for the completion.
+  sim_.Schedule(config_.mmio_read / 2, [this, offset, on_done = std::move(on_done)]() {
+    const uint64_t value = device_ != nullptr ? device_->OnMmioRead(offset) : ~0ULL;
+    sim_.Schedule(config_.mmio_read / 2, [value, on_done = std::move(on_done)]() {
+      on_done(value);
+    });
+  });
+}
+
+void PcieLink::DeviceDmaRead(uint64_t iova, size_t size,
+                             std::function<void(std::vector<uint8_t>)> on_done) {
+  std::vector<Chunk> chunks;
+  if (!TranslateRange(iova, size, chunks)) {
+    sim_.Schedule(config_.dma_read_latency,
+                  [on_done = std::move(on_done)]() { on_done({}); });
+    return;
+  }
+  Duration translate_cost = 0;
+  for (const Chunk& c : chunks) {
+    translate_cost += c.cost;
+  }
+  dma_read_bytes_ += size;
+  const Duration total = config_.dma_read_latency + translate_cost + ClaimBandwidth(size);
+  sim_.Schedule(total, [this, chunks = std::move(chunks), size,
+                        on_done = std::move(on_done)]() {
+    std::vector<uint8_t> data;
+    data.reserve(size);
+    for (const Chunk& c : chunks) {
+      const auto part = host_memory_.ReadBytes(c.pa, c.size);
+      data.insert(data.end(), part.begin(), part.end());
+    }
+    on_done(std::move(data));
+  });
+}
+
+void PcieLink::DeviceDmaWrite(uint64_t iova, std::vector<uint8_t> data,
+                              std::function<void()> on_done) {
+  std::vector<Chunk> chunks;
+  if (!TranslateRange(iova, data.size(), chunks)) {
+    return;  // faulted; fault handler already notified via the IOMMU
+  }
+  Duration translate_cost = 0;
+  for (const Chunk& c : chunks) {
+    translate_cost += c.cost;
+  }
+  dma_write_bytes_ += data.size();
+  const Duration total =
+      config_.dma_write_latency + translate_cost + ClaimBandwidth(data.size());
+  sim_.Schedule(total, [this, chunks = std::move(chunks), data = std::move(data),
+                        on_done = std::move(on_done)]() {
+    size_t off = 0;
+    for (const Chunk& c : chunks) {
+      host_memory_.WriteBytes(
+          c.pa, std::vector<uint8_t>(data.begin() + off, data.begin() + off + c.size));
+      off += c.size;
+    }
+    if (on_done) {
+      on_done();
+    }
+  });
+}
+
+void Msix::SetHandler(uint32_t vector, Handler handler) {
+  if (handlers_.size() <= vector) {
+    handlers_.resize(vector + 1);
+  }
+  handlers_[vector] = std::move(handler);
+}
+
+void Msix::Trigger(uint32_t vector) {
+  sim_.Schedule(latency_, [this, vector]() {
+    ++delivered_;
+    if (vector < handlers_.size() && handlers_[vector]) {
+      handlers_[vector]();
+    }
+  });
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,120 @@
+// PCIe link model between the host and a device.
+//
+// Models the costs that dominate a traditional DMA NIC's small-message path
+// (Fig. 1): posted MMIO writes (doorbells), non-posted MMIO reads, and DMA
+// read/write TLPs with IOMMU translation and shared link bandwidth. Host
+// memory is the coherence module's MemoryHomeAgent, so data DMA'd in is the
+// same bytes the CPU later reads.
+#ifndef SRC_PCIE_PCIE_LINK_H_
+#define SRC_PCIE_PCIE_LINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/coherence/memory_home.h"
+#include "src/pcie/iommu.h"
+#include "src/sim/simulator.h"
+
+namespace lauberhorn {
+
+struct PcieConfig {
+  Duration mmio_read = Nanoseconds(800);        // non-posted, full round trip
+  Duration mmio_write = Nanoseconds(150);       // posted doorbell
+  Duration dma_read_latency = Nanoseconds(700);  // request issued -> data at device
+  Duration dma_write_latency = Nanoseconds(400); // posted write visible in host memory
+  double bandwidth_gbps = 256.0;                // Gen4 x16 ≈ 32 GB/s
+  Duration msix_latency = Nanoseconds(600);     // vector signalled -> handler entry
+};
+
+// Device-side register space: the host's MMIO reads/writes land here.
+class MmioDevice {
+ public:
+  virtual ~MmioDevice() = default;
+  virtual void OnMmioWrite(uint64_t offset, uint64_t value) = 0;
+  virtual uint64_t OnMmioRead(uint64_t offset) = 0;
+};
+
+class PcieLink {
+ public:
+  PcieLink(Simulator& sim, PcieConfig config, MemoryHomeAgent& host_memory, Iommu& iommu);
+
+  const PcieConfig& config() const { return config_; }
+  void set_device(MmioDevice* device) { device_ = device; }
+
+  // -- Host-initiated ----------------------------------------------------
+
+  // Posted register write (doorbell). Completes at the device later; the CPU
+  // does not wait.
+  void HostMmioWrite(uint64_t offset, uint64_t value);
+
+  // Non-posted register read; `on_done` runs at the host after the round trip.
+  void HostMmioRead(uint64_t offset, std::function<void(uint64_t)> on_done);
+
+  // -- Device-initiated (DMA through the IOMMU) ---------------------------
+
+  // Reads `size` bytes at `iova` from host memory. On an IOMMU fault the
+  // callback receives an empty vector.
+  void DeviceDmaRead(uint64_t iova, size_t size,
+                     std::function<void(std::vector<uint8_t>)> on_done);
+
+  // Posted write of `data` to host memory at `iova`. `on_done` (optional)
+  // runs once the write is globally visible.
+  void DeviceDmaWrite(uint64_t iova, std::vector<uint8_t> data,
+                      std::function<void()> on_done = nullptr);
+
+  // -- Stats ---------------------------------------------------------------
+
+  uint64_t mmio_reads() const { return mmio_reads_; }
+  uint64_t mmio_writes() const { return mmio_writes_; }
+  uint64_t dma_read_bytes() const { return dma_read_bytes_; }
+  uint64_t dma_write_bytes() const { return dma_write_bytes_; }
+
+ private:
+  // Serializes a transfer on the shared link; returns its completion time
+  // contribution (queuing + wire time for `bytes`).
+  Duration ClaimBandwidth(size_t bytes);
+  // Splits [iova, iova+size) into page-bounded chunks and translates each;
+  // returns false (and leaves `chunks` partial) on a fault.
+  struct Chunk {
+    uint64_t pa = 0;
+    size_t size = 0;
+    Duration cost = 0;
+  };
+  bool TranslateRange(uint64_t iova, size_t size, std::vector<Chunk>& chunks);
+
+  Simulator& sim_;
+  PcieConfig config_;
+  MemoryHomeAgent& host_memory_;
+  Iommu& iommu_;
+  MmioDevice* device_ = nullptr;
+  SimTime link_free_at_ = 0;
+  uint64_t mmio_reads_ = 0;
+  uint64_t mmio_writes_ = 0;
+  uint64_t dma_read_bytes_ = 0;
+  uint64_t dma_write_bytes_ = 0;
+};
+
+// MSI-X interrupt delivery: vectors fan out to registered handlers after the
+// configured latency. The OS module binds vectors to cores.
+class Msix {
+ public:
+  Msix(Simulator& sim, Duration latency) : sim_(sim), latency_(latency) {}
+
+  using Handler = std::function<void()>;
+
+  void SetHandler(uint32_t vector, Handler handler);
+  void Trigger(uint32_t vector);
+
+  uint64_t interrupts_delivered() const { return delivered_; }
+
+ private:
+  Simulator& sim_;
+  Duration latency_;
+  std::vector<Handler> handlers_;
+  uint64_t delivered_ = 0;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_PCIE_PCIE_LINK_H_

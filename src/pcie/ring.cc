@@ -1,0 +1,38 @@
+#include "src/pcie/ring.h"
+
+#include "src/proto/marshal.h"
+
+namespace lauberhorn {
+
+std::vector<uint8_t> Descriptor::Encode() const {
+  std::vector<uint8_t> out;
+  out.reserve(kDescriptorSize);
+  PutU64Le(out, buffer_iova);
+  PutU32Le(out, length);
+  PutU16Le(out, flags);
+  PutU16Le(out, 0);
+  return out;
+}
+
+Descriptor Descriptor::Decode(const std::vector<uint8_t>& bytes) {
+  Descriptor d;
+  size_t off = 0;
+  std::span<const uint8_t> in(bytes);
+  GetU64Le(in, off, d.buffer_iova);
+  GetU32Le(in, off, d.length);
+  GetU16Le(in, off, d.flags);
+  return d;
+}
+
+RingView::RingView(MemoryHomeAgent& memory, uint64_t base, uint32_t num_entries)
+    : memory_(memory), base_(base), num_entries_(num_entries) {}
+
+void RingView::Write(uint32_t index, const Descriptor& desc) {
+  memory_.WriteBytes(DescAddr(index), desc.Encode());
+}
+
+Descriptor RingView::Read(uint32_t index) const {
+  return Descriptor::Decode(memory_.ReadBytes(DescAddr(index), kDescriptorSize));
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,76 @@
+#include "src/proto/cipher.h"
+
+#include "src/proto/marshal.h"
+#include "src/sim/random.h"
+
+namespace lauberhorn {
+namespace {
+
+// Keystream XOR in place, seeded from key ^ nonce.
+void ApplyKeystream(uint64_t key, uint64_t nonce, std::vector<uint8_t>& data) {
+  Rng stream(key ^ (nonce * 0x9e3779b97f4a7c15ULL));
+  size_t i = 0;
+  while (i < data.size()) {
+    uint64_t word = stream.Next();
+    for (int b = 0; b < 8 && i < data.size(); ++b, ++i) {
+      data[i] ^= static_cast<uint8_t>(word);
+      word >>= 8;
+    }
+  }
+}
+
+// Keyed checksum over the ciphertext (stands in for a GMAC tag).
+uint64_t Tag(uint64_t key, uint64_t nonce, std::span<const uint8_t> data) {
+  uint64_t h = key ^ 0x6a09e667f3bcc908ULL ^ nonce;
+  for (uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+    h = (h << 7) | (h >> 57);
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t DeriveKey(uint64_t root_key, uint32_t service_id) {
+  uint64_t k = root_key ^ (static_cast<uint64_t>(service_id) * 0xff51afd7ed558ccdULL);
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+std::vector<uint8_t> SealPayload(uint64_t key, uint64_t nonce,
+                                 std::span<const uint8_t> plaintext) {
+  std::vector<uint8_t> out;
+  out.reserve(plaintext.size() + kCipherOverhead);
+  PutU64Le(out, nonce);
+  std::vector<uint8_t> body(plaintext.begin(), plaintext.end());
+  ApplyKeystream(key, nonce, body);
+  out.insert(out.end(), body.begin(), body.end());
+  PutU64Le(out, Tag(key, nonce, body));
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> OpenPayload(uint64_t key,
+                                                std::span<const uint8_t> sealed) {
+  if (sealed.size() < kCipherOverhead) {
+    return std::nullopt;
+  }
+  size_t off = 0;
+  uint64_t nonce = 0;
+  GetU64Le(sealed, off, nonce);
+  const size_t body_len = sealed.size() - kCipherOverhead;
+  std::vector<uint8_t> body(sealed.begin() + kCipherNonceSize,
+                            sealed.begin() + kCipherNonceSize + body_len);
+  uint64_t tag = 0;
+  size_t tag_off = kCipherNonceSize + body_len;
+  GetU64Le(sealed, tag_off, tag);
+  if (Tag(key, nonce, body) != tag) {
+    return std::nullopt;
+  }
+  ApplyKeystream(key, nonce, body);
+  return body;
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,39 @@
+// Transport encryption for LRPC payloads (§6: "encryption can be handled
+// with fairly standard techniques").
+//
+// This is a *simulation* cipher, not cryptography: a keyed xoshiro keystream
+// XOR plus a 64-bit keyed checksum tag. It is functionally real — sealing and
+// opening transform actual bytes, the wrong key or a corrupted ciphertext
+// fails authentication — which is what the simulation needs to exercise the
+// offload paths end to end. The cost models charge AES-GCM-class prices:
+// near-line-rate on the NIC's crypto engine, per-byte CPU time in software.
+#ifndef SRC_PROTO_CIPHER_H_
+#define SRC_PROTO_CIPHER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace lauberhorn {
+
+inline constexpr size_t kCipherTagSize = 8;
+inline constexpr size_t kCipherNonceSize = 8;
+// Sealing adds nonce + tag.
+inline constexpr size_t kCipherOverhead = kCipherNonceSize + kCipherTagSize;
+
+// Derives a per-service key from a root key (models per-connection keys
+// negotiated out of band).
+uint64_t DeriveKey(uint64_t root_key, uint32_t service_id);
+
+// Encrypts `plaintext` with `key` and `nonce`: [nonce | ciphertext | tag].
+std::vector<uint8_t> SealPayload(uint64_t key, uint64_t nonce,
+                                 std::span<const uint8_t> plaintext);
+
+// Decrypts and authenticates; nullopt if the tag does not verify.
+std::optional<std::vector<uint8_t>> OpenPayload(uint64_t key,
+                                                std::span<const uint8_t> sealed);
+
+}  // namespace lauberhorn
+
+#endif  // SRC_PROTO_CIPHER_H_

@@ -1,0 +1,225 @@
+#include "src/proto/marshal.h"
+
+#include <cstring>
+
+namespace lauberhorn {
+
+bool WireValue::operator==(const WireValue& other) const {
+  if (type != other.type) {
+    return false;
+  }
+  switch (type) {
+    case WireType::kF64:
+      return f64 == other.f64;
+    case WireType::kBytes:
+      return bytes == other.bytes;
+    case WireType::kString:
+      return str == other.str;
+    default:
+      return scalar == other.scalar;
+  }
+}
+
+void PutU16Le(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32Le(std::vector<uint8_t>& out, uint32_t v) {
+  PutU16Le(out, static_cast<uint16_t>(v));
+  PutU16Le(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64Le(std::vector<uint8_t>& out, uint64_t v) {
+  PutU32Le(out, static_cast<uint32_t>(v));
+  PutU32Le(out, static_cast<uint32_t>(v >> 32));
+}
+
+bool GetU16Le(std::span<const uint8_t> in, size_t& off, uint16_t& v) {
+  if (off + 2 > in.size()) {
+    return false;
+  }
+  v = static_cast<uint16_t>(in[off] | (in[off + 1] << 8));
+  off += 2;
+  return true;
+}
+
+bool GetU32Le(std::span<const uint8_t> in, size_t& off, uint32_t& v) {
+  uint16_t lo = 0;
+  uint16_t hi = 0;
+  if (!GetU16Le(in, off, lo) || !GetU16Le(in, off, hi)) {
+    return false;
+  }
+  v = static_cast<uint32_t>(lo) | (static_cast<uint32_t>(hi) << 16);
+  return true;
+}
+
+bool GetU64Le(std::span<const uint8_t> in, size_t& off, uint64_t& v) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (!GetU32Le(in, off, lo) || !GetU32Le(in, off, hi)) {
+    return false;
+  }
+  v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+namespace {
+
+size_t ScalarSize(WireType t) {
+  switch (t) {
+    case WireType::kU8:
+      return 1;
+    case WireType::kU16:
+      return 2;
+    case WireType::kU32:
+      return 4;
+    case WireType::kU64:
+    case WireType::kI64:
+    case WireType::kF64:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+size_t MethodSignature::EncodedSize(std::span<const WireValue> values) const {
+  size_t total = 0;
+  for (size_t i = 0; i < args.size() && i < values.size(); ++i) {
+    const size_t s = ScalarSize(args[i]);
+    if (s > 0) {
+      total += s;
+    } else if (args[i] == WireType::kBytes) {
+      total += 4 + values[i].bytes.size();
+    } else {
+      total += 4 + values[i].str.size();
+    }
+  }
+  return total;
+}
+
+bool MethodSignature::Matches(std::span<const WireValue> values) const {
+  if (values.size() != args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (values[i].type != args[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MarshalArgs(const MethodSignature& sig, std::span<const WireValue> values,
+                 std::vector<uint8_t>& out) {
+  if (!sig.Matches(values)) {
+    return false;
+  }
+  for (const WireValue& v : values) {
+    switch (v.type) {
+      case WireType::kU8:
+        out.push_back(static_cast<uint8_t>(v.scalar));
+        break;
+      case WireType::kU16:
+        PutU16Le(out, static_cast<uint16_t>(v.scalar));
+        break;
+      case WireType::kU32:
+        PutU32Le(out, static_cast<uint32_t>(v.scalar));
+        break;
+      case WireType::kU64:
+      case WireType::kI64:
+        PutU64Le(out, v.scalar);
+        break;
+      case WireType::kF64: {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &v.f64, sizeof(bits));
+        PutU64Le(out, bits);
+        break;
+      }
+      case WireType::kBytes:
+        PutU32Le(out, static_cast<uint32_t>(v.bytes.size()));
+        out.insert(out.end(), v.bytes.begin(), v.bytes.end());
+        break;
+      case WireType::kString:
+        PutU32Le(out, static_cast<uint32_t>(v.str.size()));
+        out.insert(out.end(), v.str.begin(), v.str.end());
+        break;
+    }
+  }
+  return true;
+}
+
+bool UnmarshalArgs(const MethodSignature& sig, std::span<const uint8_t> in,
+                   std::vector<WireValue>& out, size_t* consumed) {
+  out.clear();
+  out.reserve(sig.args.size());
+  size_t off = 0;
+  for (WireType t : sig.args) {
+    WireValue v;
+    v.type = t;
+    switch (t) {
+      case WireType::kU8:
+        if (off + 1 > in.size()) {
+          return false;
+        }
+        v.scalar = in[off++];
+        break;
+      case WireType::kU16: {
+        uint16_t x = 0;
+        if (!GetU16Le(in, off, x)) {
+          return false;
+        }
+        v.scalar = x;
+        break;
+      }
+      case WireType::kU32: {
+        uint32_t x = 0;
+        if (!GetU32Le(in, off, x)) {
+          return false;
+        }
+        v.scalar = x;
+        break;
+      }
+      case WireType::kU64:
+      case WireType::kI64: {
+        uint64_t x = 0;
+        if (!GetU64Le(in, off, x)) {
+          return false;
+        }
+        v.scalar = x;
+        break;
+      }
+      case WireType::kF64: {
+        uint64_t bits = 0;
+        if (!GetU64Le(in, off, bits)) {
+          return false;
+        }
+        std::memcpy(&v.f64, &bits, sizeof(v.f64));
+        break;
+      }
+      case WireType::kBytes:
+      case WireType::kString: {
+        uint32_t len = 0;
+        if (!GetU32Le(in, off, len) || off + len > in.size()) {
+          return false;
+        }
+        if (t == WireType::kBytes) {
+          v.bytes.assign(in.begin() + off, in.begin() + off + len);
+        } else {
+          v.str.assign(in.begin() + off, in.begin() + off + len);
+        }
+        off += len;
+        break;
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  if (consumed != nullptr) {
+    *consumed = off;
+  }
+  return true;
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,51 @@
+#include "src/proto/rpc_message.h"
+
+namespace lauberhorn {
+
+void EncodeRpcMessage(const RpcMessage& msg, std::vector<uint8_t>& out) {
+  out.reserve(out.size() + msg.WireSize());
+  PutU16Le(out, kLrpcMagic);
+  out.push_back(kLrpcVersion);
+  out.push_back(static_cast<uint8_t>(msg.kind));
+  PutU32Le(out, msg.service_id);
+  PutU16Le(out, msg.method_id);
+  PutU16Le(out, static_cast<uint16_t>(msg.status));
+  PutU64Le(out, msg.request_id);
+  PutU32Le(out, static_cast<uint32_t>(msg.payload.size()));
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+}
+
+std::optional<RpcMessage> DecodeRpcMessage(std::span<const uint8_t> in) {
+  size_t off = 0;
+  uint16_t magic = 0;
+  if (!GetU16Le(in, off, magic) || magic != kLrpcMagic) {
+    return std::nullopt;
+  }
+  if (off + 2 > in.size()) {
+    return std::nullopt;
+  }
+  const uint8_t version = in[off++];
+  const uint8_t kind = in[off++];
+  if (version != kLrpcVersion ||
+      (kind != static_cast<uint8_t>(MessageKind::kRequest) &&
+       kind != static_cast<uint8_t>(MessageKind::kResponse))) {
+    return std::nullopt;
+  }
+  RpcMessage msg;
+  msg.kind = static_cast<MessageKind>(kind);
+  uint16_t status = 0;
+  uint32_t payload_length = 0;
+  if (!GetU32Le(in, off, msg.service_id) || !GetU16Le(in, off, msg.method_id) ||
+      !GetU16Le(in, off, status) || !GetU64Le(in, off, msg.request_id) ||
+      !GetU32Le(in, off, payload_length)) {
+    return std::nullopt;
+  }
+  msg.status = static_cast<RpcStatus>(status);
+  if (off + payload_length > in.size()) {
+    return std::nullopt;
+  }
+  msg.payload.assign(in.begin() + off, in.begin() + off + payload_length);
+  return msg;
+}
+
+}  // namespace lauberhorn

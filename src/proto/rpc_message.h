@@ -1,0 +1,63 @@
+// LRPC message framing: the RPC-over-UDP wire format spoken by clients and
+// decoded by every NIC model in this repository.
+//
+// Layout (little-endian, 24-byte header, then the marshalled payload):
+//   u16 magic      'LR' (0x524c)
+//   u8  version    1
+//   u8  kind       MessageKind
+//   u32 service_id
+//   u16 method_id
+//   u16 status     RpcStatus (responses; 0 in requests)
+//   u64 request_id
+//   u32 payload_length
+//   u8  payload[payload_length]
+#ifndef SRC_PROTO_RPC_MESSAGE_H_
+#define SRC_PROTO_RPC_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/proto/marshal.h"
+
+namespace lauberhorn {
+
+inline constexpr uint16_t kLrpcMagic = 0x524c;  // "LR"
+inline constexpr uint8_t kLrpcVersion = 1;
+inline constexpr size_t kLrpcHeaderSize = 24;
+
+enum class MessageKind : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+enum class RpcStatus : uint16_t {
+  kOk = 0,
+  kNoSuchService = 1,
+  kNoSuchMethod = 2,
+  kBadArguments = 3,
+  kOverloaded = 4,
+  kInternal = 5,
+};
+
+struct RpcMessage {
+  MessageKind kind = MessageKind::kRequest;
+  uint32_t service_id = 0;
+  uint16_t method_id = 0;
+  RpcStatus status = RpcStatus::kOk;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;  // marshalled args or return values
+
+  size_t WireSize() const { return kLrpcHeaderSize + payload.size(); }
+};
+
+// Appends the encoded message to `out`.
+void EncodeRpcMessage(const RpcMessage& msg, std::vector<uint8_t>& out);
+
+// Decodes one message from `in`; returns nullopt on malformed framing.
+std::optional<RpcMessage> DecodeRpcMessage(std::span<const uint8_t> in);
+
+}  // namespace lauberhorn
+
+#endif  // SRC_PROTO_RPC_MESSAGE_H_

@@ -1,0 +1,130 @@
+#include "src/sim/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lauberhorn {
+namespace {
+
+constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value, as
+// recommended by the xoshiro authors.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = SplitMix64(sm);
+  }
+  // All-zero state is the one invalid state; splitmix cannot produce four
+  // zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformInt(uint64_t lo, uint64_t hi) {
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) {
+    return Next();  // full 64-bit range requested
+  }
+  // Lemire's multiply-shift rejection method for unbiased bounded integers.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * span;
+  auto low = static_cast<uint64_t>(m);
+  if (low < span) {
+    const uint64_t threshold = -span % span;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * span;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return lo + static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  // Avoid log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::Lognormal(double median, double sigma) {
+  return median * std::exp(sigma * Normal(0.0, 1.0));
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; we draw two uniforms and discard the second variate for
+  // simplicity (stateless across calls keeps Fork semantics clean).
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::BoundedPareto(double alpha, double lo, double hi) {
+  const double u = NextDouble();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd3f2a1c5b4e69788ULL); }
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  cdf_.reserve(n);
+  double acc = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    cdf_.push_back(acc);
+  }
+  for (auto& v : cdf_) {
+    v /= acc;
+  }
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component of the simulator draws from an Rng seeded from the
+// experiment configuration, so a given seed always reproduces the exact same
+// simulated trace. The generator is xoshiro256**, which is fast, has a 2^256-1
+// period, and passes BigCrush.
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lauberhorn {
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation
+// re-expressed here). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  // Raw 64 random bits.
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Exponential with the given mean (= 1/rate). Used for Poisson arrivals.
+  double Exponential(double mean);
+
+  // Lognormal parameterized by the *resulting* median and sigma of the
+  // underlying normal; heavy-tailed service times.
+  double Lognormal(double median, double sigma);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // Bounded Pareto with shape alpha on [lo, hi).
+  double BoundedPareto(double alpha, double lo, double hi);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Splits off an independent child generator; used to give each component a
+  // private stream so adding a component never perturbs another's draws.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed integers over {0, .., n-1} with skew parameter s.
+// Precomputes the CDF once; each Sample is a binary search.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_SIM_RANDOM_H_

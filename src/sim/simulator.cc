@@ -1,0 +1,66 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace lauberhorn {
+
+EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  // Erasing from pending_ is the cancellation; the queue entry is skipped
+  // lazily when it surfaces at the top.
+  return pending_.erase(id) != 0;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (pending_.erase(ev.id) == 0) {
+      continue;  // was cancelled
+    }
+    now_ = ev.when;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (true) {
+    // Drop cancelled entries so the deadline check below sees a live event.
+    while (!queue_.empty() && pending_.find(queue_.top().id) == pending_.end()) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void Simulator::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,87 @@
+// The discrete-event simulation core.
+//
+// A Simulator owns a time-ordered queue of events. Components schedule
+// callbacks at future simulated times; Run() drains the queue in timestamp
+// order (ties broken by scheduling order, which makes runs fully
+// deterministic). Everything else in this repository — the coherence fabric,
+// PCIe, the OS, the NIC models — is built on this single clock.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace lauberhorn {
+
+// Identifies a scheduled event so it can be cancelled. Ids are never reused.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now. Negative delays are clamped to 0
+  // (the event still runs strictly after the current event completes).
+  EventId Schedule(Duration delay, std::function<void()> fn);
+
+  // Schedules `fn` at an absolute simulated time (>= Now()).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event. Returns true if the event existed and had not
+  // yet fired. Cancelling an already-fired or invalid id is a no-op.
+  bool Cancel(EventId id);
+
+  // Runs a single event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs events until the queue is empty or `deadline` is passed. Time
+  // advances to `deadline` if the queue empties earlier than that.
+  void RunUntil(SimTime deadline);
+
+  // Runs until no events remain.
+  void RunUntilIdle();
+
+  // Number of events executed so far (for determinism checks and stats).
+  uint64_t events_executed() const { return events_executed_; }
+
+  // Number of events scheduled but not yet fired or cancelled.
+  size_t pending_events() const { return pending_.size(); }
+
+ private:
+  struct Event {
+    SimTime when = 0;
+    EventId id = kInvalidEventId;  // doubles as the FIFO tiebreaker
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Ids still live in `queue_`. Cancellation is lazy: a cancelled id is
+  // removed from `pending_` immediately and skipped when it reaches the top.
+  std::unordered_set<EventId> pending_;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_SIM_SIMULATOR_H_

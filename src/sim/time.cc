@@ -1,0 +1,24 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace lauberhorn {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  const double abs = d < 0 ? static_cast<double>(-d) : static_cast<double>(d);
+  if (abs >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(d));
+  } else if (abs >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMilliseconds(d));
+  } else if (abs >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ToMicroseconds(d));
+  } else if (abs >= static_cast<double>(kNanosecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3fns", ToNanoseconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldps", static_cast<long>(d));
+  }
+  return buf;
+}
+
+}  // namespace lauberhorn

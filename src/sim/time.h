@@ -1,0 +1,70 @@
+// Simulated-time types for the Lauberhorn discrete-event simulator.
+//
+// All simulated time is kept in integer picoseconds. Picosecond resolution lets
+// us express sub-nanosecond quantities (a 2 GHz CPU cycle is 500 ps) without
+// floating-point drift, while an int64_t still covers ~106 days of simulated
+// time, far beyond any experiment in this repository.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lauberhorn {
+
+// A point in simulated time, in picoseconds since simulation start.
+using SimTime = int64_t;
+
+// A span of simulated time, in picoseconds. Durations may be added to times.
+using Duration = int64_t;
+
+inline constexpr Duration kPicosecond = 1;
+inline constexpr Duration kNanosecond = 1000 * kPicosecond;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration Picoseconds(int64_t n) { return n * kPicosecond; }
+constexpr Duration Nanoseconds(int64_t n) { return n * kNanosecond; }
+constexpr Duration Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr Duration Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr Duration Seconds(int64_t n) { return n * kSecond; }
+
+// Fractional constructors for cost models expressed in decimal units
+// (e.g. 1.2 us context switch). Rounds to the nearest picosecond.
+constexpr Duration NanosecondsF(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kNanosecond) + 0.5);
+}
+constexpr Duration MicrosecondsF(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+constexpr double ToNanoseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosecond);
+}
+constexpr double ToMicroseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double ToMilliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// Converts a duration to CPU cycles at the given core frequency.
+constexpr double ToCycles(Duration d, double frequency_ghz) {
+  return ToNanoseconds(d) * frequency_ghz;
+}
+
+// Converts a CPU-cycle count at the given frequency to a duration.
+constexpr Duration CyclesToDuration(double cycles, double frequency_ghz) {
+  return NanosecondsF(cycles / frequency_ghz);
+}
+
+// Renders a duration with an auto-selected unit, e.g. "1.25us" or "640ns".
+std::string FormatDuration(Duration d);
+
+}  // namespace lauberhorn
+
+#endif  // SRC_SIM_TIME_H_

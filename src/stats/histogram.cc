@@ -1,0 +1,127 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace lauberhorn {
+
+Histogram::Histogram() : buckets_(64 * kSubBuckets, 0) {}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int magnitude = msb - kSubBucketBits + 1;
+  // Keep the top kSubBucketBits bits: sub in [kSubBuckets/2, kSubBuckets).
+  const uint64_t sub = value >> magnitude;
+  return static_cast<size_t>(magnitude) * kSubBuckets + static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketLow(size_t index) {
+  const size_t magnitude = index / kSubBuckets;
+  const uint64_t sub = index % kSubBuckets;
+  return sub << magnitude;
+}
+
+uint64_t Histogram::BucketHigh(size_t index) {
+  const size_t magnitude = index / kSubBuckets;
+  return BucketLow(index) + (1ULL << magnitude) - 1;
+}
+
+void Histogram::Record(Duration value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const auto v = static_cast<uint64_t>(value);
+  const size_t index = BucketIndex(v);
+  if (index < buckets_.size()) {
+    ++buckets_[index];
+  } else {
+    ++buckets_.back();
+  }
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const auto d = static_cast<double>(value);
+  sum_ += d;
+  sum_sq_ += d * d;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = sum_sq_ = 0.0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  const double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Duration Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      // Clamp to observed extremes for tighter answers at the tails.
+      const auto low = static_cast<Duration>(BucketLow(i));
+      const auto high = static_cast<Duration>(BucketHigh(i));
+      return std::clamp((low + high) / 2, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%s p50=%s p99=%s p99.9=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                FormatDuration(static_cast<Duration>(Mean())).c_str(),
+                FormatDuration(P50()).c_str(), FormatDuration(P99()).c_str(),
+                FormatDuration(P999()).c_str(), FormatDuration(max()).c_str());
+  return buf;
+}
+
+}  // namespace lauberhorn

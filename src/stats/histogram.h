@@ -1,0 +1,91 @@
+// Latency statistics for simulation results.
+//
+// Histogram is an HDR-style log-linear histogram over simulated durations:
+// buckets grow geometrically so relative error is bounded (~1/32) across the
+// full ns..s range while memory stays small. Percentile queries interpolate
+// within a bucket.
+#ifndef SRC_STATS_HISTOGRAM_H_
+#define SRC_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace lauberhorn {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(Duration value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  Duration min() const { return count_ == 0 ? 0 : min_; }
+  Duration max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+  double StdDev() const;
+
+  // Returns the value at quantile q in [0, 1]. Empty histogram returns 0.
+  Duration Percentile(double q) const;
+  Duration P50() const { return Percentile(0.50); }
+  Duration P99() const { return Percentile(0.99); }
+  Duration P999() const { return Percentile(0.999); }
+
+  // One-line human-readable summary: count/mean/p50/p99/p999/max.
+  std::string Summary() const;
+
+ private:
+  // Log-linear bucketing: 64 value magnitudes x 64 linear sub-buckets; the
+  // top 32 sub-buckets of each magnitude >= 1 are populated, which bounds
+  // relative bucket width to 1/32.
+  static constexpr int kSubBucketBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static size_t BucketIndex(uint64_t value);
+  // Lower/upper bound of the value range covered by bucket i.
+  static uint64_t BucketLow(size_t index);
+  static uint64_t BucketHigh(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  Duration min_ = 0;
+  Duration max_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+// Exponentially-weighted moving average; used for the NIC's per-service load
+// statistics (§5.2).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Update(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+  }
+
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  void Reset() {
+    value_ = 0.0;
+    initialized_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_STATS_HISTOGRAM_H_

@@ -1,0 +1,40 @@
+// Aligned-table and CSV printing for benchmark output.
+//
+// Every bench binary reproduces a paper figure/table by printing one of these
+// tables: a header row plus data rows, auto-aligned for the terminal, with an
+// optional CSV dump for plotting.
+#ifndef SRC_STATS_TABLE_H_
+#define SRC_STATS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lauberhorn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with columns padded to the widest cell.
+  std::string ToString() const;
+  // Comma-separated, one line per row, header first.
+  std::string ToCsv() const;
+
+  void Print(FILE* out = stdout) const;
+
+  // Formatting helpers for cells.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_STATS_TABLE_H_

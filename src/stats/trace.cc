@@ -1,0 +1,33 @@
+#include "src/stats/trace.h"
+
+namespace lauberhorn {
+
+std::string ToString(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kNone:
+      return "none";
+    case TraceEvent::kWireRx:
+      return "wire-rx";
+    case TraceEvent::kWireTx:
+      return "wire-tx";
+    case TraceEvent::kDispatchHot:
+      return "dispatch-hot";
+    case TraceEvent::kDispatchQueued:
+      return "dispatch-queued";
+    case TraceEvent::kDispatchCold:
+      return "dispatch-cold";
+    case TraceEvent::kTryAgain:
+      return "tryagain";
+    case TraceEvent::kRetire:
+      return "retire";
+    case TraceEvent::kLoopEnter:
+      return "loop-enter";
+    case TraceEvent::kLoopExit:
+      return "loop-exit";
+    case TraceEvent::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+}  // namespace lauberhorn

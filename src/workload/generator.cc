@@ -1,0 +1,202 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace lauberhorn {
+namespace {
+
+std::vector<uint8_t> MakePayload(Rng& rng, const WorkloadTarget& target) {
+  // Marshalled kBytes argument of the requested size: 4-byte length prefix
+  // plus the payload body (the canonical echo-style signature).
+  std::vector<uint8_t> body(target.payload_bytes);
+  for (auto& b : body) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  std::vector<uint8_t> out;
+  const MethodDef* method = target.service->FindMethod(target.method_id);
+  assert(method != nullptr);
+  if (method->request_sig.args.size() == 1 &&
+      method->request_sig.args[0] == WireType::kBytes) {
+    MarshalArgs(method->request_sig, std::vector<WireValue>{WireValue::Bytes(body)},
+                out);
+  } else {
+    // Generic signatures: fill scalars with random values, byte args with the
+    // requested payload.
+    std::vector<WireValue> args;
+    for (WireType t : method->request_sig.args) {
+      switch (t) {
+        case WireType::kBytes:
+          args.push_back(WireValue::Bytes(body));
+          break;
+        case WireType::kString:
+          args.push_back(WireValue::Str(std::string(target.payload_bytes, 'x')));
+          break;
+        case WireType::kF64:
+          args.push_back(WireValue::F64(rng.NextDouble()));
+          break;
+        default:
+          args.push_back(WireValue{t, rng.Next(), 0.0, {}, {}});
+          break;
+      }
+    }
+    MarshalArgs(method->request_sig, args, out);
+  }
+  return out;
+}
+
+}  // namespace
+
+OpenLoopGenerator::OpenLoopGenerator(Simulator& sim, RpcClient& client,
+                                     std::vector<WorkloadTarget> targets, Config config)
+    : sim_(sim),
+      client_(client),
+      targets_(std::move(targets)),
+      config_(config),
+      rng_(config.seed),
+      per_target_completed_(targets_.size(), 0) {
+  assert(!targets_.empty());
+  std::vector<double> weights;
+  weights.reserve(targets_.size());
+  if (config_.zipf_skew > 0.0) {
+    for (size_t i = 0; i < targets_.size(); ++i) {
+      weights.push_back(1.0 / std::pow(static_cast<double>(i + 1), config_.zipf_skew));
+    }
+  } else {
+    for (const auto& t : targets_) {
+      weights.push_back(t.weight);
+    }
+  }
+  SetWeights(weights);
+}
+
+void OpenLoopGenerator::SetWeights(const std::vector<double>& weights) {
+  assert(weights.size() == targets_.size());
+  cumulative_.resize(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    cumulative_[i] = acc;
+  }
+}
+
+size_t OpenLoopGenerator::PickTarget() {
+  const double u = rng_.Uniform(0.0, cumulative_.back());
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return std::min<size_t>(static_cast<size_t>(it - cumulative_.begin()),
+                          targets_.size() - 1);
+}
+
+void OpenLoopGenerator::Start() {
+  running_ = true;
+  sim_.ScheduleAt(config_.start, [this]() { ScheduleNext(); });
+}
+
+void OpenLoopGenerator::ScheduleNext() {
+  if (!running_ || (config_.stop != 0 && sim_.Now() >= config_.stop)) {
+    return;
+  }
+  const double mean_gap_s = 1.0 / config_.rate_rps;
+  const double gap_s =
+      config_.poisson ? rng_.Exponential(mean_gap_s) : mean_gap_s;
+  sim_.Schedule(NanosecondsF(gap_s * 1e9), [this]() {
+    Fire();
+    ScheduleNext();
+  });
+}
+
+void OpenLoopGenerator::Fire() {
+  const size_t index = PickTarget();
+  const WorkloadTarget& target = targets_[index];
+  ++sent_;
+  client_.CallRaw(target.service->udp_port, target.service->service_id,
+                  target.method_id, MakePayload(rng_, target),
+                  [this, index](const RpcMessage&, Duration rtt) {
+                    ++completed_;
+                    ++per_target_completed_[index];
+                    rtt_.Record(rtt);
+                  });
+}
+
+ClosedLoopGenerator::ClosedLoopGenerator(Simulator& sim, RpcClient& client,
+                                         std::vector<WorkloadTarget> targets,
+                                         Config config)
+    : sim_(sim),
+      client_(client),
+      targets_(std::move(targets)),
+      config_(config),
+      rng_(config.seed) {
+  assert(!targets_.empty());
+}
+
+void ClosedLoopGenerator::Start() {
+  running_ = true;
+  for (int i = 0; i < config_.concurrency; ++i) {
+    FireOne();
+  }
+}
+
+void ClosedLoopGenerator::FireOne() {
+  if (!running_ ||
+      (config_.max_requests != 0 && sent_ >= config_.max_requests)) {
+    return;
+  }
+  const size_t index = rng_.UniformInt(0, targets_.size() - 1);
+  const WorkloadTarget& target = targets_[index];
+  ++sent_;
+  client_.CallRaw(target.service->udp_port, target.service->service_id,
+                  target.method_id, MakePayload(rng_, target),
+                  [this](const RpcMessage&, Duration rtt) {
+                    ++completed_;
+                    rtt_.Record(rtt);
+                    if (config_.max_requests != 0 &&
+                        completed_ >= config_.max_requests) {
+                      if (on_finished) {
+                        on_finished();
+                      }
+                      return;
+                    }
+                    if (config_.think_time > 0) {
+                      sim_.Schedule(config_.think_time, [this]() { FireOne(); });
+                    } else {
+                      FireOne();
+                    }
+                  });
+}
+
+PhasedWorkload::PhasedWorkload(Simulator& sim, OpenLoopGenerator& generator,
+                               size_t num_targets, Config config)
+    : sim_(sim),
+      generator_(generator),
+      num_targets_(num_targets),
+      config_(config),
+      rng_(config.seed) {}
+
+void PhasedWorkload::Start() {
+  running_ = true;
+  Shift();
+}
+
+void PhasedWorkload::Shift() {
+  if (!running_) {
+    return;
+  }
+  ++shifts_;
+  // Rotate the hot window deterministically, with a random jitter of which
+  // services join it.
+  std::vector<double> weights(num_targets_,
+                              (1.0 - config_.hot_fraction) /
+                                  static_cast<double>(num_targets_));
+  for (size_t i = 0; i < config_.hot_count; ++i) {
+    const size_t hot =
+        (phase_ * config_.hot_count + i + rng_.UniformInt(0, 1)) % num_targets_;
+    weights[hot] += config_.hot_fraction / static_cast<double>(config_.hot_count);
+  }
+  ++phase_;
+  generator_.SetWeights(weights);
+  sim_.Schedule(config_.interval, [this]() { Shift(); });
+}
+
+}  // namespace lauberhorn

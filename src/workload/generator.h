@@ -1,0 +1,147 @@
+// RPC workload generators driving a Machine's client.
+//
+// OpenLoopGenerator models datacenter traffic: Poisson (or fixed-interval)
+// arrivals at a target rate, each request picking a service by a Zipf
+// popularity distribution — arrival times do not depend on completions, so
+// overload shows up as queueing, as in production. ClosedLoopGenerator keeps
+// a fixed number of outstanding requests (classic latency-vs-throughput
+// sweeps). PhasedWorkload re-weights service popularity over time to model
+// dynamic mixes (§4: "more dynamic application mixes").
+#ifndef SRC_WORKLOAD_GENERATOR_H_
+#define SRC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/proto/service.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+
+namespace lauberhorn {
+
+struct WorkloadTarget {
+  const ServiceDef* service = nullptr;
+  uint16_t method_id = 0;
+  size_t payload_bytes = 64;
+  double weight = 1.0;  // relative popularity
+};
+
+class OpenLoopGenerator {
+ public:
+  struct Config {
+    double rate_rps = 100000.0;   // offered load
+    bool poisson = true;          // exponential vs fixed inter-arrival
+    double zipf_skew = 0.0;       // >0: Zipf over targets (overrides weights)
+    uint64_t seed = 7;
+    SimTime start = 0;
+    SimTime stop = 0;  // 0 = run until Stop()
+  };
+
+  OpenLoopGenerator(Simulator& sim, RpcClient& client,
+                    std::vector<WorkloadTarget> targets, Config config);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  // Completed-request RTTs as seen by the client.
+  const Histogram& rtt() const { return rtt_; }
+  uint64_t sent() const { return sent_; }
+  uint64_t completed() const { return completed_; }
+  // Per-target completion counts.
+  const std::vector<uint64_t>& per_target_completed() const {
+    return per_target_completed_;
+  }
+
+  // Replaces target weights (for phase shifts); takes effect immediately.
+  void SetWeights(const std::vector<double>& weights);
+
+ private:
+  void ScheduleNext();
+  void Fire();
+  size_t PickTarget();
+
+  Simulator& sim_;
+  RpcClient& client_;
+  std::vector<WorkloadTarget> targets_;
+  Config config_;
+  Rng rng_;
+  std::vector<double> cumulative_;  // prefix weights
+  bool running_ = false;
+  Histogram rtt_;
+  uint64_t sent_ = 0;
+  uint64_t completed_ = 0;
+  std::vector<uint64_t> per_target_completed_;
+};
+
+class ClosedLoopGenerator {
+ public:
+  struct Config {
+    int concurrency = 1;           // outstanding requests
+    Duration think_time = 0;       // delay between completion and next send
+    uint64_t seed = 7;
+    uint64_t max_requests = 0;     // 0 = unlimited
+  };
+
+  ClosedLoopGenerator(Simulator& sim, RpcClient& client,
+                      std::vector<WorkloadTarget> targets, Config config);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  const Histogram& rtt() const { return rtt_; }
+  uint64_t sent() const { return sent_; }
+  uint64_t completed() const { return completed_; }
+  // Fires when max_requests completions have been observed.
+  std::function<void()> on_finished;
+
+ private:
+  void FireOne();
+
+  Simulator& sim_;
+  RpcClient& client_;
+  std::vector<WorkloadTarget> targets_;
+  Config config_;
+  Rng rng_;
+  bool running_ = false;
+  Histogram rtt_;
+  uint64_t sent_ = 0;
+  uint64_t completed_ = 0;
+};
+
+// Drives phase shifts: every `interval`, rotates which subset of targets is
+// "hot", concentrating `hot_fraction` of the load on `hot_count` services.
+class PhasedWorkload {
+ public:
+  struct Config {
+    Duration interval = Milliseconds(10);
+    size_t hot_count = 2;
+    double hot_fraction = 0.9;
+    uint64_t seed = 21;
+  };
+
+  PhasedWorkload(Simulator& sim, OpenLoopGenerator& generator, size_t num_targets,
+                 Config config);
+
+  void Start();
+  void Stop() { running_ = false; }
+  uint64_t phase_shifts() const { return shifts_; }
+
+ private:
+  void Shift();
+
+  Simulator& sim_;
+  OpenLoopGenerator& generator_;
+  size_t num_targets_;
+  Config config_;
+  Rng rng_;
+  size_t phase_ = 0;
+  bool running_ = false;
+  uint64_t shifts_ = 0;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,165 @@
+// Tests for §6's continuation endpoints: server-side nested RPCs through the
+// NIC hairpin — a frontend service whose handler calls a backend service and
+// combines the reply, on both the hot and the cold dispatch path.
+#include <gtest/gtest.h>
+
+#include "src/core/machine.h"
+
+namespace lauberhorn {
+namespace {
+
+// frontend.compose(u64 x) -> calls backend.add1(x) -> returns (reply * 2).
+ServiceDef MakeBackend() {
+  ServiceDef def;
+  def.service_id = 2;
+  def.name = "backend";
+  def.udp_port = 7100;
+  MethodDef add1;
+  add1.method_id = 0;
+  add1.name = "add1";
+  add1.request_sig.args = {WireType::kU64};
+  add1.response_sig.args = {WireType::kU64};
+  add1.handler = [](const std::vector<WireValue>& args) {
+    return std::vector<WireValue>{WireValue::U64(args[0].scalar + 1)};
+  };
+  add1.SetFixedServiceTime(Microseconds(1));
+  def.methods[0] = std::move(add1);
+  return def;
+}
+
+ServiceDef MakeFrontend() {
+  ServiceDef def;
+  def.service_id = 1;
+  def.name = "frontend";
+  def.udp_port = 7000;
+  MethodDef compose;
+  compose.method_id = 0;
+  compose.name = "compose";
+  compose.request_sig.args = {WireType::kU64};
+  compose.response_sig.args = {WireType::kU64};
+  compose.SetFixedServiceTime(Microseconds(1));
+  compose.nested_call = [](const std::vector<WireValue>& args) {
+    MethodDef::NestedCall call;
+    call.dst_port = 7100;
+    call.method_id = 0;
+    call.args = {WireValue::U64(args[0].scalar)};
+    call.request_sig.args = {WireType::kU64};
+    call.response_sig.args = {WireType::kU64};
+    return call;
+  };
+  compose.nested_finish = [](const std::vector<WireValue>& /*original*/,
+                             const std::vector<WireValue>& reply) {
+    return std::vector<WireValue>{WireValue::U64(reply[0].scalar * 2)};
+  };
+  def.methods[0] = std::move(compose);
+  return def;
+}
+
+struct NestedFixture {
+  explicit NestedFixture(bool hot) {
+    MachineConfig config;
+    config.stack = StackKind::kLauberhorn;
+    config.num_cores = 4;
+    machine = std::make_unique<Machine>(config);
+    frontend = &machine->AddService(MakeFrontend());
+    backend = &machine->AddService(MakeBackend());
+    machine->Start();
+    if (hot) {
+      machine->StartHotLoop(*frontend);
+      machine->StartHotLoop(*backend);
+    } else {
+      machine->StartHotLoop(*backend);  // backend hot; frontend cold-dispatched
+    }
+    machine->sim().RunUntil(Milliseconds(1));
+  }
+
+  uint64_t Compose(uint64_t x, Duration* rtt_out = nullptr) {
+    uint64_t result = ~0ULL;
+    machine->client().Call(*frontend, 0, std::vector<WireValue>{WireValue::U64(x)},
+                           [&](const RpcMessage& r, Duration rtt) {
+                             EXPECT_EQ(r.status, RpcStatus::kOk);
+                             std::vector<WireValue> out;
+                             EXPECT_TRUE(UnmarshalArgs(
+                                 MethodSignature{{WireType::kU64}}, r.payload, out));
+                             result = out[0].scalar;
+                             if (rtt_out != nullptr) {
+                               *rtt_out = rtt;
+                             }
+                           });
+    machine->sim().RunUntil(machine->sim().Now() + Milliseconds(50));
+    return result;
+  }
+
+  std::unique_ptr<Machine> machine;
+  const ServiceDef* frontend = nullptr;
+  const ServiceDef* backend = nullptr;
+};
+
+TEST(NestedRpcTest, HotPathComputesThroughBothServices) {
+  NestedFixture fx(/*hot=*/true);
+  // compose(20) = (20 + 1) * 2 = 42.
+  EXPECT_EQ(fx.Compose(20), 42u);
+  EXPECT_EQ(fx.machine->lauberhorn_runtime()->nested_issued(), 1u);
+  EXPECT_EQ(fx.machine->lauberhorn_runtime()->nested_failed(), 0u);
+}
+
+TEST(NestedRpcTest, SequentialNestedCallsReuseContinuations) {
+  NestedFixture fx(/*hot=*/true);
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(fx.Compose(i), (i + 1) * 2);
+  }
+  EXPECT_EQ(fx.machine->lauberhorn_runtime()->nested_issued(), 20u);
+  // The pool (32 continuations) never exhausts because each is freed.
+  EXPECT_EQ(fx.machine->lauberhorn_runtime()->nested_failed(), 0u);
+}
+
+TEST(NestedRpcTest, ColdDispatchedFrontendAlsoNests) {
+  NestedFixture fx(/*hot=*/false);
+  EXPECT_EQ(fx.Compose(5), 12u);
+  EXPECT_GE(fx.machine->lauberhorn_nic()->stats().cold_dispatches, 1u);
+  EXPECT_EQ(fx.machine->lauberhorn_runtime()->nested_issued(), 1u);
+}
+
+TEST(NestedRpcTest, NestedLatencyIsTwoHotTraversals) {
+  NestedFixture fx(/*hot=*/true);
+  Duration rtt = 0;
+  fx.Compose(1, &rtt);
+  // Roughly: wire RTT + two hot end-system traversals + 2us of handlers.
+  // Well under any kernel-mediated chain; sanity bounds only.
+  EXPECT_GT(rtt, Microseconds(5));
+  EXPECT_LT(rtt, Microseconds(40));
+}
+
+TEST(NestedRpcTest, BackendBusyDelaysButCompletes) {
+  NestedFixture fx(/*hot=*/true);
+  // Saturate the backend with direct calls while nesting through it.
+  for (int i = 0; i < 10; ++i) {
+    fx.machine->client().Call(*fx.backend, 0,
+                              std::vector<WireValue>{WireValue::U64(1)});
+  }
+  EXPECT_EQ(fx.Compose(10), 22u);
+}
+
+TEST(NestedRpcTest, ContinuationPoolExhaustionFailsGracefully) {
+  MachineConfig config;
+  config.stack = StackKind::kLauberhorn;
+  config.num_cores = 4;
+  Machine machine(config);
+  const ServiceDef& frontend = machine.AddService(MakeFrontend());
+  machine.AddService(MakeBackend());
+  machine.Start();
+  machine.StartHotLoop(frontend);
+  machine.sim().RunUntil(Milliseconds(1));
+  // Exhaust the pool directly.
+  while (machine.lauberhorn_nic()->AllocateContinuation().has_value()) {
+  }
+  RpcStatus status = RpcStatus::kOk;
+  machine.client().Call(frontend, 0, std::vector<WireValue>{WireValue::U64(1)},
+                        [&](const RpcMessage& r, Duration) { status = r.status; });
+  machine.sim().RunUntil(Milliseconds(50));
+  EXPECT_EQ(status, RpcStatus::kInternal);
+  EXPECT_EQ(machine.lauberhorn_runtime()->nested_failed(), 1u);
+}
+
+}  // namespace
+}  // namespace lauberhorn

@@ -1,0 +1,251 @@
+// Tests for Ethernet/IPv4/UDP framing, checksums, and the link model.
+#include <gtest/gtest.h>
+
+#include "src/net/headers.h"
+#include "src/net/link.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace lauberhorn {
+namespace {
+
+EthernetHeader TestEth() {
+  EthernetHeader eth;
+  eth.dst = {0x02, 0, 0, 0, 0, 0x01};
+  eth.src = {0x02, 0, 0, 0, 0, 0x02};
+  return eth;
+}
+
+Ipv4Header TestIp() {
+  Ipv4Header ip;
+  ip.src = MakeIpv4(10, 0, 0, 1);
+  ip.dst = MakeIpv4(10, 0, 0, 2);
+  return ip;
+}
+
+UdpHeader TestUdp() {
+  UdpHeader udp;
+  udp.src_port = 5555;
+  udp.dst_port = 7777;
+  return udp;
+}
+
+TEST(HeadersTest, BuildParseRoundTrip) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  const Packet p = BuildUdpFrame(TestEth(), TestIp(), TestUdp(), payload);
+  ASSERT_EQ(p.size(), kAllHeadersSize + payload.size());
+
+  ParseError error{};
+  const auto frame = ParseUdpFrame(p, &error);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->ip.src, MakeIpv4(10, 0, 0, 1));
+  EXPECT_EQ(frame->ip.dst, MakeIpv4(10, 0, 0, 2));
+  EXPECT_EQ(frame->udp.src_port, 5555);
+  EXPECT_EQ(frame->udp.dst_port, 7777);
+  ASSERT_EQ(frame->payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), frame->payload.begin()));
+}
+
+TEST(HeadersTest, EmptyPayload) {
+  const Packet p = BuildUdpFrame(TestEth(), TestIp(), TestUdp(), {});
+  const auto frame = ParseUdpFrame(p);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload.size(), 0u);
+}
+
+TEST(HeadersTest, TruncatedFrameRejected) {
+  Packet p = BuildUdpFrame(TestEth(), TestIp(), TestUdp(), std::vector<uint8_t>{1, 2, 3});
+  p.bytes.resize(kAllHeadersSize - 1);
+  ParseError error{};
+  EXPECT_FALSE(ParseUdpFrame(p, &error).has_value());
+  EXPECT_EQ(error, ParseError::kTruncated);
+}
+
+TEST(HeadersTest, CorruptIpHeaderDetected) {
+  Packet p = BuildUdpFrame(TestEth(), TestIp(), TestUdp(), std::vector<uint8_t>{1, 2, 3});
+  p.bytes[kEthernetHeaderSize + 8] ^= 0xff;  // mangle TTL
+  ParseError error{};
+  EXPECT_FALSE(ParseUdpFrame(p, &error).has_value());
+  EXPECT_EQ(error, ParseError::kBadIpChecksum);
+}
+
+TEST(HeadersTest, CorruptPayloadDetectedByUdpChecksum) {
+  Packet p = BuildUdpFrame(TestEth(), TestIp(), TestUdp(), std::vector<uint8_t>{1, 2, 3, 4});
+  p.bytes.back() ^= 0x01;
+  ParseError error{};
+  EXPECT_FALSE(ParseUdpFrame(p, &error).has_value());
+  EXPECT_EQ(error, ParseError::kBadUdpChecksum);
+}
+
+TEST(HeadersTest, NonIpv4Rejected) {
+  Packet p = BuildUdpFrame(TestEth(), TestIp(), TestUdp(), std::vector<uint8_t>{1});
+  p.bytes[12] = 0x86;  // EtherType high byte -> not IPv4
+  p.bytes[13] = 0xdd;
+  ParseError error{};
+  EXPECT_FALSE(ParseUdpFrame(p, &error).has_value());
+  EXPECT_EQ(error, ParseError::kNotIpv4);
+}
+
+TEST(HeadersTest, NonUdpRejected) {
+  Packet p = BuildUdpFrame(TestEth(), TestIp(), TestUdp(), std::vector<uint8_t>{1});
+  // Change protocol to TCP and fix up the IP checksum.
+  p.bytes[kEthernetHeaderSize + 9] = 6;
+  p.bytes[kEthernetHeaderSize + 10] = 0;
+  p.bytes[kEthernetHeaderSize + 11] = 0;
+  const uint16_t csum = InternetChecksum(
+      std::span<const uint8_t>(p.bytes.data() + kEthernetHeaderSize, kIpv4HeaderSize));
+  p.bytes[kEthernetHeaderSize + 10] = static_cast<uint8_t>(csum >> 8);
+  p.bytes[kEthernetHeaderSize + 11] = static_cast<uint8_t>(csum & 0xff);
+  ParseError error{};
+  EXPECT_FALSE(ParseUdpFrame(p, &error).has_value());
+  EXPECT_EQ(error, ParseError::kNotUdp);
+}
+
+TEST(HeadersTest, ChecksumKnownVector) {
+  // RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> sum 0xddf2, csum ~0xddf2.
+  const std::vector<uint8_t> data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(InternetChecksum(data), static_cast<uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(HeadersTest, FormatHelpers) {
+  EXPECT_EQ(FormatIpv4(MakeIpv4(192, 168, 1, 20)), "192.168.1.20");
+  EXPECT_EQ(FormatMac({0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}), "de:ad:be:ef:00:01");
+}
+
+// Property: any random payload survives build+parse bit-exact.
+class FramingPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FramingPropertyTest, RandomPayloadRoundTrip) {
+  Rng rng(GetParam() * 31 + 1);
+  std::vector<uint8_t> payload(GetParam());
+  for (auto& b : payload) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  const Packet p = BuildUdpFrame(TestEth(), TestIp(), TestUdp(), payload);
+  const auto frame = ParseUdpFrame(p);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), frame->payload.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FramingPropertyTest,
+                         ::testing::Values(0, 1, 2, 63, 64, 65, 512, 1024, 1472));
+
+class CollectingSink : public PacketSink {
+ public:
+  void ReceivePacket(Packet packet) override {
+    packets.push_back(std::move(packet));
+    arrival_times.push_back(owner->Now());
+  }
+  Simulator* owner = nullptr;
+  std::vector<Packet> packets;
+  std::vector<SimTime> arrival_times;
+};
+
+TEST(LinkTest, DeliversAfterSerializationAndPropagation) {
+  Simulator sim;
+  LinkConfig config;
+  config.bandwidth_gbps = 100.0;
+  config.propagation = Nanoseconds(500);
+  Link link(sim, config);
+  CollectingSink sink;
+  sink.owner = &sim;
+  link.a_to_b().set_sink(&sink);
+
+  Packet p;
+  p.bytes.assign(105, 0xab);  // 105B + 20B overhead = 125B = 10ns at 100Gbps
+  link.a_to_b().Send(std::move(p));
+  sim.RunUntilIdle();
+
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], Nanoseconds(510));
+}
+
+TEST(LinkTest, BackToBackPacketsSerialize) {
+  Simulator sim;
+  LinkConfig config;
+  config.bandwidth_gbps = 10.0;  // 1 byte = 0.8ns
+  config.propagation = 0;
+  Link link(sim, config);
+  CollectingSink sink;
+  sink.owner = &sim;
+  link.a_to_b().set_sink(&sink);
+
+  for (int i = 0; i < 3; ++i) {
+    Packet p;
+    p.bytes.assign(80, 0);  // (80+20)*0.8 = 80ns each
+    link.a_to_b().Send(std::move(p));
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(sink.packets.size(), 3u);
+  EXPECT_EQ(sink.arrival_times[0], Nanoseconds(80));
+  EXPECT_EQ(sink.arrival_times[1], Nanoseconds(160));
+  EXPECT_EQ(sink.arrival_times[2], Nanoseconds(240));
+}
+
+TEST(LinkTest, LossDropsDeterministically) {
+  Simulator sim;
+  LinkConfig config;
+  config.loss_probability = 0.5;
+  config.seed = 123;
+  Link link(sim, config);
+  CollectingSink sink;
+  sink.owner = &sim;
+  link.a_to_b().set_sink(&sink);
+
+  for (int i = 0; i < 1000; ++i) {
+    Packet p;
+    p.bytes.assign(64, 0);
+    link.a_to_b().Send(std::move(p));
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(sink.packets.size() + link.a_to_b().packets_dropped(), 1000u);
+  EXPECT_NEAR(static_cast<double>(link.a_to_b().packets_dropped()), 500.0, 60.0);
+}
+
+TEST(LinkTest, CorruptionFlipsOneBitCaughtByChecksum) {
+  Simulator sim;
+  LinkConfig config;
+  config.corrupt_probability = 1.0;
+  Link link(sim, config);
+  CollectingSink sink;
+  sink.owner = &sim;
+  link.a_to_b().set_sink(&sink);
+
+  const Packet original = BuildUdpFrame(TestEth(), TestIp(), TestUdp(), std::vector<uint8_t>{1, 2, 3, 4});
+  Packet copy = original;
+  link.a_to_b().Send(std::move(copy));
+  sim.RunUntilIdle();
+
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_NE(sink.packets[0].bytes, original.bytes);
+  // Either the IP or the UDP checksum must catch a single flipped bit.
+  EXPECT_FALSE(ParseUdpFrame(sink.packets[0]).has_value());
+}
+
+TEST(LinkTest, FullDuplexDirectionsIndependent) {
+  Simulator sim;
+  LinkConfig config;
+  config.propagation = Nanoseconds(100);
+  Link link(sim, config);
+  CollectingSink sink_b;
+  CollectingSink sink_a;
+  sink_b.owner = &sim;
+  sink_a.owner = &sim;
+  link.a_to_b().set_sink(&sink_b);
+  link.b_to_a().set_sink(&sink_a);
+
+  Packet p1;
+  p1.bytes.assign(64, 1);
+  Packet p2;
+  p2.bytes.assign(64, 2);
+  link.a_to_b().Send(std::move(p1));
+  link.b_to_a().Send(std::move(p2));
+  sim.RunUntilIdle();
+  EXPECT_EQ(sink_b.packets.size(), 1u);
+  EXPECT_EQ(sink_a.packets.size(), 1u);
+  EXPECT_EQ(sink_b.arrival_times[0], sink_a.arrival_times[0]);
+}
+
+}  // namespace
+}  // namespace lauberhorn

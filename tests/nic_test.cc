@@ -1,0 +1,379 @@
+// Tests for the NIC substrate pieces: control-line codecs, platform cost
+// models, the traditional DMA NIC + driver (rings, RSS, interrupts,
+// moderation, steering), and the trace ring.
+#include <gtest/gtest.h>
+
+#include "src/coherence/interconnect.h"
+#include "src/coherence/memory_home.h"
+#include "src/net/headers.h"
+#include "src/nic/cost_model.h"
+#include "src/nic/dispatch_line.h"
+#include "src/nic/dma_nic.h"
+#include "src/sim/random.h"
+#include "src/stats/trace.h"
+
+namespace lauberhorn {
+namespace {
+
+// --- DispatchLine / ResponseLine codecs --------------------------------------
+
+TEST(DispatchLineTest, EncodeDecodeRoundTrip) {
+  DispatchLine line;
+  line.kind = LineKind::kRpcDispatch;
+  line.aux_lines = 3;
+  line.method_id = 7;
+  line.service_id = 42;
+  line.request_id = 0x1122334455667788ULL;
+  line.code_ptr = 0x5000'1000;
+  line.data_ptr = 0x7000'2000;
+  line.arg_len = 84;
+  line.endpoint_id = 9;
+  line.pid = 1234;
+  line.inline_args.assign(84, 0xab);
+
+  const LineData encoded = line.Encode(128);
+  EXPECT_EQ(encoded.size(), 128u);
+  const auto decoded = DispatchLine::Decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, LineKind::kRpcDispatch);
+  EXPECT_EQ(decoded->aux_lines, 3);
+  EXPECT_EQ(decoded->method_id, 7);
+  EXPECT_EQ(decoded->service_id, 42u);
+  EXPECT_EQ(decoded->request_id, 0x1122334455667788ULL);
+  EXPECT_EQ(decoded->code_ptr, 0x5000'1000u);
+  EXPECT_EQ(decoded->data_ptr, 0x7000'2000u);
+  EXPECT_EQ(decoded->arg_len, 84u);
+  EXPECT_EQ(decoded->endpoint_id, 9);
+  EXPECT_EQ(decoded->pid, 1234u);
+  EXPECT_EQ(decoded->inline_args, line.inline_args);
+}
+
+TEST(DispatchLineTest, ViaDmaCarriesNoInlineArgs) {
+  DispatchLine line;
+  line.kind = LineKind::kRpcDispatch;
+  line.via_dma = true;
+  line.arg_len = 10000;
+  line.data_ptr = 0x400000;
+  const auto decoded = DispatchLine::Decode(line.Encode(128));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->via_dma);
+  EXPECT_TRUE(decoded->inline_args.empty());
+  EXPECT_EQ(decoded->arg_len, 10000u);
+}
+
+TEST(DispatchLineTest, InlineCapacityMatchesLineSize) {
+  EXPECT_EQ(DispatchLine::InlineCapacity(128), 128 - kDispatchHeaderSize);
+  EXPECT_EQ(DispatchLine::InlineCapacity(64), 64 - kDispatchHeaderSize);
+}
+
+TEST(DispatchLineTest, TryagainAndRetireKinds) {
+  for (LineKind kind : {LineKind::kTryAgain, LineKind::kRetire}) {
+    DispatchLine line;
+    line.kind = kind;
+    line.endpoint_id = 5;
+    const auto decoded = DispatchLine::Decode(line.Encode(128));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->kind, kind);
+    EXPECT_EQ(decoded->endpoint_id, 5);
+  }
+}
+
+TEST(DispatchLineTest, TooShortLineRejected) {
+  EXPECT_FALSE(DispatchLine::Decode(LineData(10, 0)).has_value());
+  EXPECT_FALSE(ResponseLine::Decode(LineData(4, 0)).has_value());
+}
+
+TEST(ResponseLineTest, EncodeDecodeRoundTrip) {
+  ResponseLine line;
+  line.status = 2;
+  line.resp_len = 50;
+  line.request_id = 77;
+  line.aux_lines = 1;
+  line.inline_payload.assign(50, 0xcd);
+  const auto decoded = ResponseLine::Decode(line.Encode(128));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, LineKind::kResponse);
+  EXPECT_EQ(decoded->status, 2);
+  EXPECT_EQ(decoded->resp_len, 50u);
+  EXPECT_EQ(decoded->request_id, 77u);
+  EXPECT_EQ(decoded->inline_payload, line.inline_payload);
+}
+
+TEST(ResponseLineTest, InlineTruncatedToRespLen) {
+  ResponseLine line;
+  line.resp_len = 4;  // shorter than the line
+  line.inline_payload = {1, 2, 3, 4};
+  const auto decoded = ResponseLine::Decode(line.Encode(128));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->inline_payload, (std::vector<uint8_t>{1, 2, 3, 4}));
+}
+
+// --- Platform cost models -------------------------------------------------------
+
+TEST(CostModelTest, PlatformsDifferWhereTheyShould) {
+  const PlatformSpec enzian = PlatformSpec::EnzianEci();
+  const PlatformSpec pc = PlatformSpec::ModernPcPcie();
+  const PlatformSpec cxl = PlatformSpec::Cxl3Projection();
+  EXPECT_EQ(enzian.coherence.line_size, 128u);
+  EXPECT_EQ(pc.coherence.line_size, 64u);
+  EXPECT_GT(enzian.coherence.cpu_device_hop, pc.coherence.cpu_device_hop);
+  EXPECT_GT(pc.coherence.cpu_device_hop, cxl.coherence.cpu_device_hop);
+  EXPECT_GT(enzian.pcie.dma_read_latency, pc.pcie.dma_read_latency);
+  EXPECT_EQ(enzian.lauberhorn.tryagain_timeout, Milliseconds(15));
+  EXPECT_LT(enzian.lauberhorn.tryagain_timeout, enzian.coherence.bus_timeout);
+}
+
+TEST(CostModelTest, UnmarshalCostScalesWithBytes) {
+  NicPipelineCosts pipeline;
+  EXPECT_GT(pipeline.UnmarshalCost(4096), pipeline.UnmarshalCost(64));
+  EXPECT_EQ(pipeline.UnmarshalCost(0), pipeline.unmarshal_fixed);
+}
+
+// --- DMA NIC + driver ---------------------------------------------------------
+
+class DmaNicTest : public ::testing::Test {
+ protected:
+  DmaNicTest()
+      : interconnect_(sim_, CoherenceConfig{}),
+        memory_(sim_, interconnect_, 0, 1 << 28),
+        pcie_(sim_, PcieConfig{}, memory_, iommu_),
+        msix_(sim_, Nanoseconds(600)),
+        wire_(sim_, LinkConfig{}) {}
+
+  void Build(DmaNic::Config config, uint32_t ring_entries = 64) {
+    nic_ = std::make_unique<DmaNic>(sim_, config, pcie_, msix_);
+    DmaNicDriver::Config driver_config;
+    driver_config.num_queues = config.num_queues;
+    driver_config.ring_entries = ring_entries;
+    driver_ = std::make_unique<DmaNicDriver>(sim_, driver_config, pcie_, iommu_, memory_);
+    driver_->Setup();
+    sim_.RunUntilIdle();  // let the setup MMIO land
+  }
+
+  Packet MakeRequest(uint16_t src_port, uint16_t dst_port, size_t payload = 32) {
+    EthernetHeader eth;
+    eth.src = {2, 0, 0, 0, 0, 1};
+    eth.dst = {2, 0, 0, 0, 0, 2};
+    Ipv4Header ip;
+    ip.src = MakeIpv4(10, 0, 0, 1);
+    ip.dst = MakeIpv4(10, 0, 0, 2);
+    UdpHeader udp;
+    udp.src_port = src_port;
+    udp.dst_port = dst_port;
+    return BuildUdpFrame(eth, ip, udp, std::vector<uint8_t>(payload, 0x11));
+  }
+
+  Simulator sim_;
+  CoherentInterconnect interconnect_;
+  MemoryHomeAgent memory_;
+  Iommu iommu_;
+  PcieLink pcie_;
+  Msix msix_;
+  Link wire_;
+  std::unique_ptr<DmaNic> nic_;
+  std::unique_ptr<DmaNicDriver> driver_;
+};
+
+TEST_F(DmaNicTest, RxPacketLandsInHostMemory) {
+  DmaNic::Config config;
+  config.num_queues = 1;
+  Build(config);
+  const Packet request = MakeRequest(1000, 2000);
+  nic_->ReceivePacket(request);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(nic_->rx_packets(), 1u);
+  auto packets = driver_->Poll(0, 16);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].bytes, request.bytes);
+}
+
+TEST_F(DmaNicTest, InterruptFiresOnRx) {
+  DmaNic::Config config;
+  config.num_queues = 1;
+  config.interrupts_enabled = true;
+  Build(config);
+  int irqs = 0;
+  msix_.SetHandler(0, [&] { ++irqs; });
+  nic_->ReceivePacket(MakeRequest(1, 2));
+  sim_.RunUntilIdle();
+  EXPECT_EQ(irqs, 1);
+}
+
+TEST_F(DmaNicTest, InterruptModerationCoalesces) {
+  DmaNic::Config config;
+  config.num_queues = 1;
+  config.interrupt_moderation = Microseconds(50);
+  Build(config);
+  int irqs = 0;
+  msix_.SetHandler(0, [&] { ++irqs; });
+  for (int i = 0; i < 10; ++i) {
+    sim_.Schedule(Microseconds(2) * i, [this, i]() {
+      nic_->ReceivePacket(MakeRequest(static_cast<uint16_t>(100 + i), 2));
+    });
+  }
+  sim_.RunUntil(Milliseconds(1));
+  // 10 packets over 20us with a 50us ITR: one or two interrupts, not ten.
+  EXPECT_LE(irqs, 2);
+  EXPECT_EQ(nic_->rx_packets(), 10u);
+}
+
+TEST_F(DmaNicTest, RssSpreadsFlowsAcrossQueues) {
+  DmaNic::Config config;
+  config.num_queues = 4;
+  config.interrupts_enabled = false;
+  Build(config);
+  for (uint16_t port = 0; port < 64; ++port) {
+    nic_->ReceivePacket(MakeRequest(static_cast<uint16_t>(20000 + port), 2));
+  }
+  sim_.RunUntilIdle();
+  int queues_used = 0;
+  for (uint32_t q = 0; q < 4; ++q) {
+    if (!driver_->Poll(q, 64).empty()) {
+      ++queues_used;
+    }
+  }
+  EXPECT_GE(queues_used, 3) << "64 flows should hash to nearly every queue";
+}
+
+TEST_F(DmaNicTest, DstPortSteeringPinsServiceToOneQueue) {
+  DmaNic::Config config;
+  config.num_queues = 4;
+  config.interrupts_enabled = false;
+  config.steer_by_dst_port = true;
+  Build(config);
+  for (uint16_t src = 0; src < 32; ++src) {
+    nic_->ReceivePacket(MakeRequest(static_cast<uint16_t>(30000 + src), 7777));
+  }
+  sim_.RunUntilIdle();
+  int queues_used = 0;
+  for (uint32_t q = 0; q < 4; ++q) {
+    if (!driver_->Poll(q, 64).empty()) {
+      ++queues_used;
+    }
+  }
+  EXPECT_EQ(queues_used, 1) << "application steering binds the port to one queue";
+}
+
+TEST_F(DmaNicTest, CorruptFrameDroppedBeforeDma) {
+  DmaNic::Config config;
+  config.num_queues = 1;
+  Build(config);
+  Packet bad = MakeRequest(1, 2);
+  bad.bytes.back() ^= 0x01;
+  nic_->ReceivePacket(bad);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(nic_->rx_packets(), 0u);
+  EXPECT_EQ(nic_->rx_drops_bad_frame(), 1u);
+}
+
+TEST_F(DmaNicTest, RingWrapsAfterManyPackets) {
+  DmaNic::Config config;
+  config.num_queues = 1;
+  config.interrupts_enabled = false;
+  Build(config, /*ring_entries=*/16);
+  // 100 packets through a 16-entry ring, draining as we go.
+  size_t received = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim_.Schedule(Microseconds(20) * i, [this, i]() {
+      nic_->ReceivePacket(MakeRequest(static_cast<uint16_t>(i), 2));
+    });
+    sim_.Schedule(Microseconds(20) * i + Microseconds(15), [this, &received]() {
+      received += driver_->Poll(0, 16).size();
+    });
+  }
+  sim_.RunUntilIdle();
+  received += driver_->Poll(0, 16).size();
+  EXPECT_EQ(received, 100u);
+  EXPECT_EQ(nic_->rx_drops_no_desc(), 0u);
+}
+
+TEST_F(DmaNicTest, RxDropsWhenHostStopsPolling) {
+  DmaNic::Config config;
+  config.num_queues = 1;
+  config.interrupts_enabled = false;
+  Build(config, /*ring_entries=*/8);
+  // 20 packets, host never polls: only ring_entries-1 fit.
+  for (int i = 0; i < 20; ++i) {
+    nic_->ReceivePacket(MakeRequest(static_cast<uint16_t>(i), 2));
+  }
+  sim_.RunUntilIdle();
+  EXPECT_EQ(nic_->rx_packets(), 7u);
+  EXPECT_EQ(nic_->rx_drops_no_desc(), 13u);
+}
+
+TEST_F(DmaNicTest, TxPathDeliversToWire) {
+  DmaNic::Config config;
+  config.num_queues = 1;
+  Build(config);
+  class Sink : public PacketSink {
+   public:
+    void ReceivePacket(Packet packet) override { packets.push_back(std::move(packet)); }
+    std::vector<Packet> packets;
+  };
+  Sink sink;
+  wire_.b_to_a().set_sink(&sink);
+  nic_->set_tx_wire(&wire_.b_to_a());
+
+  const Packet out = MakeRequest(5, 6, 100);
+  EXPECT_TRUE(driver_->Transmit(0, out.bytes));
+  sim_.RunUntilIdle();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.packets[0].bytes, out.bytes);
+  EXPECT_EQ(nic_->tx_packets(), 1u);
+}
+
+TEST_F(DmaNicTest, TxRejectsOversizedPayload) {
+  DmaNic::Config config;
+  Build(config);
+  EXPECT_FALSE(driver_->Transmit(0, std::vector<uint8_t>(4096, 0)));
+}
+
+// --- TraceRing ------------------------------------------------------------------
+
+TEST(TraceRingTest, RecordsInOrder) {
+  TraceRing ring(8);
+  ring.Emit(1, TraceEvent::kWireRx, 3, 100);
+  ring.Emit(2, TraceEvent::kDispatchHot, 3, 100);
+  ring.Emit(3, TraceEvent::kWireTx, 3, 100);
+  const auto entries = ring.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].event, TraceEvent::kWireRx);
+  EXPECT_EQ(entries[2].event, TraceEvent::kWireTx);
+  EXPECT_EQ(entries[1].at, 2);
+}
+
+TEST(TraceRingTest, OverflowDropsOldest) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.Emit(i, TraceEvent::kTryAgain, 1, 0);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.Snapshot().front().at, 6);
+}
+
+TEST(TraceRingTest, FilterByEndpoint) {
+  TraceRing ring;
+  ring.Emit(1, TraceEvent::kDispatchHot, 7, 0);
+  ring.Emit(2, TraceEvent::kDispatchHot, 8, 0);
+  ring.Emit(3, TraceEvent::kRetire, 7, 0);
+  const auto entries = ring.ForEndpoint(7);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[1].event, TraceEvent::kRetire);
+}
+
+TEST(TraceRingTest, DisableStopsRecording) {
+  TraceRing ring;
+  ring.set_enabled(false);
+  ring.Emit(1, TraceEvent::kDrop, 0, 0);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(TraceRingTest, EventNames) {
+  EXPECT_EQ(ToString(TraceEvent::kDispatchHot), "dispatch-hot");
+  EXPECT_EQ(ToString(TraceEvent::kTryAgain), "tryagain");
+  EXPECT_EQ(ToString(TraceEvent::kLoopExit), "loop-exit");
+}
+
+}  // namespace
+}  // namespace lauberhorn

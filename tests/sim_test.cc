@@ -1,0 +1,247 @@
+// Unit and property tests for the discrete-event simulation core.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace lauberhorn {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Nanoseconds(1), 1000);
+  EXPECT_EQ(Microseconds(1), Nanoseconds(1000));
+  EXPECT_EQ(Milliseconds(1), Microseconds(1000));
+  EXPECT_EQ(Seconds(1), Milliseconds(1000));
+  EXPECT_DOUBLE_EQ(ToNanoseconds(Nanoseconds(250)), 250.0);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(Nanoseconds(1500)), 1.5);
+}
+
+TEST(TimeTest, FractionalConstructorsRound) {
+  EXPECT_EQ(NanosecondsF(1.5), 1500);
+  EXPECT_EQ(MicrosecondsF(0.001), Nanoseconds(1));
+  EXPECT_EQ(NanosecondsF(0.0004), 0);  // 0.4ps rounds down
+}
+
+TEST(TimeTest, CycleAccounting) {
+  // 2 GHz: one cycle is 0.5 ns.
+  EXPECT_DOUBLE_EQ(ToCycles(Nanoseconds(10), 2.0), 20.0);
+  EXPECT_EQ(CyclesToDuration(20.0, 2.0), Nanoseconds(10));
+}
+
+TEST(TimeTest, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(Nanoseconds(640)), "640.000ns");
+  EXPECT_EQ(FormatDuration(MicrosecondsF(1.25)), "1.250us");
+  EXPECT_EQ(FormatDuration(Milliseconds(15)), "15.000ms");
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Nanoseconds(30), [&] { order.push_back(3); });
+  sim.Schedule(Nanoseconds(10), [&] { order.push_back(1); });
+  sim.Schedule(Nanoseconds(20), [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Nanoseconds(30));
+}
+
+TEST(SimulatorTest, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Nanoseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, NestedSchedulingFromWithinEvent) {
+  Simulator sim;
+  SimTime inner_time = 0;
+  sim.Schedule(Nanoseconds(10), [&] {
+    sim.Schedule(Nanoseconds(5), [&] { inner_time = sim.Now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(inner_time, Nanoseconds(15));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.Schedule(Nanoseconds(10), [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.RunUntilIdle();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoOp) {
+  Simulator sim;
+  const EventId id = sim.Schedule(Nanoseconds(1), [] {});
+  sim.RunUntilIdle();
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(Nanoseconds(10), [&] { ++count; });
+  sim.Schedule(Nanoseconds(20), [&] { ++count; });
+  sim.Schedule(Nanoseconds(30), [&] { ++count; });
+  sim.RunUntil(Nanoseconds(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), Nanoseconds(20));
+  sim.RunUntilIdle();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(Microseconds(5));
+  EXPECT_EQ(sim.Now(), Microseconds(5));
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool late_ran = false;
+  const EventId id = sim.Schedule(Nanoseconds(5), [] {});
+  sim.Schedule(Nanoseconds(50), [&] { late_ran = true; });
+  sim.Cancel(id);
+  sim.RunUntil(Nanoseconds(10));
+  EXPECT_FALSE(late_ran) << "event past the deadline must not run";
+  EXPECT_EQ(sim.Now(), Nanoseconds(10));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(Nanoseconds(10), [&] {
+    sim.Schedule(-Nanoseconds(5), [&] { EXPECT_EQ(sim.Now(), Nanoseconds(10)); });
+  });
+  sim.RunUntilIdle();
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformInt(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequencyConverges) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(99);
+  parent2.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.Next() == parent.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(5);
+  ZipfDistribution zipf(100, 1.1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 10000);  // rank 0 gets a large share under s=1.1
+}
+
+TEST(ZipfTest, AllRanksReachable) {
+  Rng rng(6);
+  ZipfDistribution zipf(4, 0.5);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 0);
+  }
+}
+
+// Property: N random schedules execute in nondecreasing time order.
+class SimulatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorPropertyTest, RandomScheduleRespectsOrder) {
+  Simulator sim;
+  Rng rng(GetParam());
+  std::vector<SimTime> fire_times;
+  for (int i = 0; i < 500; ++i) {
+    const Duration d = static_cast<Duration>(rng.UniformInt(0, 1000000));
+    sim.Schedule(d, [&fire_times, &sim] { fire_times.push_back(sim.Now()); });
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(fire_times.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 1234, 99999));
+
+}  // namespace
+}  // namespace lauberhorn

@@ -1,0 +1,174 @@
+// Tests for histograms, EWMA, and table rendering.
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+#include "src/stats/histogram.h"
+#include "src/stats/table.h"
+
+namespace lauberhorn {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(Microseconds(3));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), Microseconds(3));
+  EXPECT_EQ(h.max(), Microseconds(3));
+  EXPECT_EQ(h.Percentile(0.5), Microseconds(3));
+  EXPECT_EQ(h.Percentile(0.99), Microseconds(3));
+}
+
+TEST(HistogramTest, PercentileOrdering) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(Nanoseconds(i));
+  }
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.9));
+  EXPECT_LE(h.Percentile(0.9), h.Percentile(0.99));
+  EXPECT_LE(h.Percentile(0.99), h.Percentile(0.999));
+  EXPECT_LE(h.Percentile(0.999), h.max());
+  EXPECT_GE(h.Percentile(0.0), h.min());
+}
+
+TEST(HistogramTest, PercentileAccuracyWithinBucketError) {
+  Histogram h;
+  for (int i = 1; i <= 100000; ++i) {
+    h.Record(Nanoseconds(i));
+  }
+  // Log-linear buckets with 32 sub-buckets bound relative error to ~1/32.
+  const double p50 = static_cast<double>(h.P50());
+  EXPECT_NEAR(p50, static_cast<double>(Nanoseconds(50000)), 0.05 * ToNanoseconds(Nanoseconds(50000)) * 1000);
+  const double p99 = static_cast<double>(h.P99());
+  EXPECT_NEAR(p99 / static_cast<double>(Nanoseconds(99000)), 1.0, 0.05);
+}
+
+TEST(HistogramTest, MeanAndStdDev) {
+  Histogram h;
+  h.Record(Nanoseconds(100));
+  h.Record(Nanoseconds(200));
+  h.Record(Nanoseconds(300));
+  EXPECT_DOUBLE_EQ(h.Mean(), static_cast<double>(Nanoseconds(200)));
+  EXPECT_NEAR(h.StdDev(), static_cast<double>(Nanoseconds(82)), static_cast<double>(Nanoseconds(1)));
+}
+
+TEST(HistogramTest, MergeCombinesPopulations) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) {
+    a.Record(Nanoseconds(10));
+    b.Record(Nanoseconds(1000));
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), Nanoseconds(10));
+  EXPECT_EQ(a.max(), Nanoseconds(1000));
+  EXPECT_LT(a.Percentile(0.25), Nanoseconds(100));
+  EXPECT_GT(a.Percentile(0.75), Nanoseconds(500));
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-Nanoseconds(5));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(Nanoseconds(5));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.9), 0);
+}
+
+// Property: percentile of a random population is within bucket error of the
+// exact order statistic.
+class HistogramPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramPropertyTest, PercentileMatchesSortedSample) {
+  Rng rng(GetParam());
+  Histogram h;
+  std::vector<Duration> values;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<Duration>(rng.UniformInt(1, 100000000));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const auto exact =
+        static_cast<double>(values[static_cast<size_t>(q * (values.size() - 1))]);
+    const auto approx = static_cast<double>(h.Percentile(q));
+    EXPECT_NEAR(approx / exact, 1.0, 0.07) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Values(3, 7, 31, 127, 8191));
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma e(0.1);
+  EXPECT_FALSE(e.initialized());
+  e.Update(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesTowardConstantInput) {
+  Ewma e(0.2);
+  e.Update(0.0);
+  for (int i = 0; i < 100; ++i) {
+    e.Update(50.0);
+  }
+  EXPECT_NEAR(e.value(), 50.0, 0.01);
+}
+
+TEST(EwmaTest, AlphaControlsResponsiveness) {
+  Ewma fast(0.9);
+  Ewma slow(0.1);
+  fast.Update(0.0);
+  slow.Update(0.0);
+  fast.Update(100.0);
+  slow.Update(100.0);
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"stack", "p50", "p99"});
+  t.AddRow({"linux", "12.3", "45.6"});
+  t.AddRow({"lauberhorn", "1.2", "3.4"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("stack"), std::string::npos);
+  EXPECT_NE(s.find("lauberhorn"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.ToCsv(), "a,b,c\nonly,,\n");
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+}  // namespace
+}  // namespace lauberhorn

