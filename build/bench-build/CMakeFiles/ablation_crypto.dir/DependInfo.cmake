@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_crypto.cc" "bench-build/CMakeFiles/ablation_crypto.dir/ablation_crypto.cc.o" "gcc" "bench-build/CMakeFiles/ablation_crypto.dir/ablation_crypto.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lbh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lbh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lbh_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/lbh_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lbh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/lbh_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/lbh_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/lbh_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/lbh_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lbh_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lbh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

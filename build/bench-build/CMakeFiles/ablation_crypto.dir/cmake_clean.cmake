@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_crypto"
+  "../bench/ablation_crypto.pdb"
+  "CMakeFiles/ablation_crypto.dir/ablation_crypto.cc.o"
+  "CMakeFiles/ablation_crypto.dir/ablation_crypto.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tryagain"
+  "../bench/ablation_tryagain.pdb"
+  "CMakeFiles/ablation_tryagain.dir/ablation_tryagain.cc.o"
+  "CMakeFiles/ablation_tryagain.dir/ablation_tryagain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tryagain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/core_scaling"
+  "../bench/core_scaling.pdb"
+  "CMakeFiles/core_scaling.dir/core_scaling.cc.o"
+  "CMakeFiles/core_scaling.dir/core_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

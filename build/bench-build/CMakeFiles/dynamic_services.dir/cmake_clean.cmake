@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dynamic_services"
+  "../bench/dynamic_services.pdb"
+  "CMakeFiles/dynamic_services.dir/dynamic_services.cc.o"
+  "CMakeFiles/dynamic_services.dir/dynamic_services.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/endsystem_latency"
+  "../bench/endsystem_latency.pdb"
+  "CMakeFiles/endsystem_latency.dir/endsystem_latency.cc.o"
+  "CMakeFiles/endsystem_latency.dir/endsystem_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endsystem_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

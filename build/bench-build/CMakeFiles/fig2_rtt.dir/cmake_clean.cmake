@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_rtt"
+  "../bench/fig2_rtt.pdb"
+  "CMakeFiles/fig2_rtt.dir/fig2_rtt.cc.o"
+  "CMakeFiles/fig2_rtt.dir/fig2_rtt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

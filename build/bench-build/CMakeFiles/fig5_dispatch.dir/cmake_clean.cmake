@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_dispatch"
+  "../bench/fig5_dispatch.pdb"
+  "CMakeFiles/fig5_dispatch.dir/fig5_dispatch.cc.o"
+  "CMakeFiles/fig5_dispatch.dir/fig5_dispatch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/msgsize_crossover"
+  "../bench/msgsize_crossover.pdb"
+  "CMakeFiles/msgsize_crossover.dir/msgsize_crossover.cc.o"
+  "CMakeFiles/msgsize_crossover.dir/msgsize_crossover.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsize_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

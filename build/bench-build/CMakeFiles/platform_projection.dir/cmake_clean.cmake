@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/platform_projection"
+  "../bench/platform_projection.pdb"
+  "CMakeFiles/platform_projection.dir/platform_projection.cc.o"
+  "CMakeFiles/platform_projection.dir/platform_projection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tail_latency"
+  "../bench/tail_latency.pdb"
+  "CMakeFiles/tail_latency.dir/tail_latency.cc.o"
+  "CMakeFiles/tail_latency.dir/tail_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

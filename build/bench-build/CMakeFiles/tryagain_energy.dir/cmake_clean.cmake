@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tryagain_energy"
+  "../bench/tryagain_energy.pdb"
+  "CMakeFiles/tryagain_energy.dir/tryagain_energy.cc.o"
+  "CMakeFiles/tryagain_energy.dir/tryagain_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tryagain_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cluster"
+  "../examples/cluster.pdb"
+  "CMakeFiles/cluster.dir/cluster.cpp.o"
+  "CMakeFiles/cluster.dir/cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

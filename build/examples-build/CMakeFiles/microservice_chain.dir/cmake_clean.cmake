@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/microservice_chain"
+  "../examples/microservice_chain.pdb"
+  "CMakeFiles/microservice_chain.dir/microservice_chain.cpp.o"
+  "CMakeFiles/microservice_chain.dir/microservice_chain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservice_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/stack_shootout"
+  "../examples/stack_shootout.pdb"
+  "CMakeFiles/stack_shootout.dir/stack_shootout.cpp.o"
+  "CMakeFiles/stack_shootout.dir/stack_shootout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

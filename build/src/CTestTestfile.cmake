@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("stats")
+subdirs("net")
+subdirs("proto")
+subdirs("coherence")
+subdirs("pcie")
+subdirs("os")
+subdirs("nic")
+subdirs("core")
+subdirs("workload")
+subdirs("model")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/cache_agent.cc" "src/coherence/CMakeFiles/lbh_coherence.dir/cache_agent.cc.o" "gcc" "src/coherence/CMakeFiles/lbh_coherence.dir/cache_agent.cc.o.d"
+  "/root/repo/src/coherence/interconnect.cc" "src/coherence/CMakeFiles/lbh_coherence.dir/interconnect.cc.o" "gcc" "src/coherence/CMakeFiles/lbh_coherence.dir/interconnect.cc.o.d"
+  "/root/repo/src/coherence/memory_home.cc" "src/coherence/CMakeFiles/lbh_coherence.dir/memory_home.cc.o" "gcc" "src/coherence/CMakeFiles/lbh_coherence.dir/memory_home.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lbh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_coherence.dir/cache_agent.cc.o"
+  "CMakeFiles/lbh_coherence.dir/cache_agent.cc.o.d"
+  "CMakeFiles/lbh_coherence.dir/interconnect.cc.o"
+  "CMakeFiles/lbh_coherence.dir/interconnect.cc.o.d"
+  "CMakeFiles/lbh_coherence.dir/memory_home.cc.o"
+  "CMakeFiles/lbh_coherence.dir/memory_home.cc.o.d"
+  "liblbh_coherence.a"
+  "liblbh_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_core.dir/client.cc.o"
+  "CMakeFiles/lbh_core.dir/client.cc.o.d"
+  "CMakeFiles/lbh_core.dir/machine.cc.o"
+  "CMakeFiles/lbh_core.dir/machine.cc.o.d"
+  "CMakeFiles/lbh_core.dir/testbed.cc.o"
+  "CMakeFiles/lbh_core.dir/testbed.cc.o.d"
+  "liblbh_core.a"
+  "liblbh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_model.dir/cold_path_spec.cc.o"
+  "CMakeFiles/lbh_model.dir/cold_path_spec.cc.o.d"
+  "CMakeFiles/lbh_model.dir/lauberhorn_spec.cc.o"
+  "CMakeFiles/lbh_model.dir/lauberhorn_spec.cc.o.d"
+  "liblbh_model.a"
+  "liblbh_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_net.dir/headers.cc.o"
+  "CMakeFiles/lbh_net.dir/headers.cc.o.d"
+  "CMakeFiles/lbh_net.dir/link.cc.o"
+  "CMakeFiles/lbh_net.dir/link.cc.o.d"
+  "liblbh_net.a"
+  "liblbh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/bypass.cc" "src/nic/CMakeFiles/lbh_nic.dir/bypass.cc.o" "gcc" "src/nic/CMakeFiles/lbh_nic.dir/bypass.cc.o.d"
+  "/root/repo/src/nic/cost_model.cc" "src/nic/CMakeFiles/lbh_nic.dir/cost_model.cc.o" "gcc" "src/nic/CMakeFiles/lbh_nic.dir/cost_model.cc.o.d"
+  "/root/repo/src/nic/dispatch_line.cc" "src/nic/CMakeFiles/lbh_nic.dir/dispatch_line.cc.o" "gcc" "src/nic/CMakeFiles/lbh_nic.dir/dispatch_line.cc.o.d"
+  "/root/repo/src/nic/dma_nic.cc" "src/nic/CMakeFiles/lbh_nic.dir/dma_nic.cc.o" "gcc" "src/nic/CMakeFiles/lbh_nic.dir/dma_nic.cc.o.d"
+  "/root/repo/src/nic/lauberhorn_nic.cc" "src/nic/CMakeFiles/lbh_nic.dir/lauberhorn_nic.cc.o" "gcc" "src/nic/CMakeFiles/lbh_nic.dir/lauberhorn_nic.cc.o.d"
+  "/root/repo/src/nic/lauberhorn_runtime.cc" "src/nic/CMakeFiles/lbh_nic.dir/lauberhorn_runtime.cc.o" "gcc" "src/nic/CMakeFiles/lbh_nic.dir/lauberhorn_runtime.cc.o.d"
+  "/root/repo/src/nic/linux_stack.cc" "src/nic/CMakeFiles/lbh_nic.dir/linux_stack.cc.o" "gcc" "src/nic/CMakeFiles/lbh_nic.dir/linux_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lbh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lbh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/lbh_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/lbh_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/lbh_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/lbh_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lbh_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_nic.dir/bypass.cc.o"
+  "CMakeFiles/lbh_nic.dir/bypass.cc.o.d"
+  "CMakeFiles/lbh_nic.dir/cost_model.cc.o"
+  "CMakeFiles/lbh_nic.dir/cost_model.cc.o.d"
+  "CMakeFiles/lbh_nic.dir/dispatch_line.cc.o"
+  "CMakeFiles/lbh_nic.dir/dispatch_line.cc.o.d"
+  "CMakeFiles/lbh_nic.dir/dma_nic.cc.o"
+  "CMakeFiles/lbh_nic.dir/dma_nic.cc.o.d"
+  "CMakeFiles/lbh_nic.dir/lauberhorn_nic.cc.o"
+  "CMakeFiles/lbh_nic.dir/lauberhorn_nic.cc.o.d"
+  "CMakeFiles/lbh_nic.dir/lauberhorn_runtime.cc.o"
+  "CMakeFiles/lbh_nic.dir/lauberhorn_runtime.cc.o.d"
+  "CMakeFiles/lbh_nic.dir/linux_stack.cc.o"
+  "CMakeFiles/lbh_nic.dir/linux_stack.cc.o.d"
+  "liblbh_nic.a"
+  "liblbh_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_os.dir/core.cc.o"
+  "CMakeFiles/lbh_os.dir/core.cc.o.d"
+  "CMakeFiles/lbh_os.dir/kernel.cc.o"
+  "CMakeFiles/lbh_os.dir/kernel.cc.o.d"
+  "CMakeFiles/lbh_os.dir/scheduler.cc.o"
+  "CMakeFiles/lbh_os.dir/scheduler.cc.o.d"
+  "liblbh_os.a"
+  "liblbh_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

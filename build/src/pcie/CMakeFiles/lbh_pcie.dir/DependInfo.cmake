@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/iommu.cc" "src/pcie/CMakeFiles/lbh_pcie.dir/iommu.cc.o" "gcc" "src/pcie/CMakeFiles/lbh_pcie.dir/iommu.cc.o.d"
+  "/root/repo/src/pcie/pcie_link.cc" "src/pcie/CMakeFiles/lbh_pcie.dir/pcie_link.cc.o" "gcc" "src/pcie/CMakeFiles/lbh_pcie.dir/pcie_link.cc.o.d"
+  "/root/repo/src/pcie/ring.cc" "src/pcie/CMakeFiles/lbh_pcie.dir/ring.cc.o" "gcc" "src/pcie/CMakeFiles/lbh_pcie.dir/ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lbh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/lbh_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/lbh_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

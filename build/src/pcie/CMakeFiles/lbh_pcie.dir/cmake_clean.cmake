@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_pcie.dir/iommu.cc.o"
+  "CMakeFiles/lbh_pcie.dir/iommu.cc.o.d"
+  "CMakeFiles/lbh_pcie.dir/pcie_link.cc.o"
+  "CMakeFiles/lbh_pcie.dir/pcie_link.cc.o.d"
+  "CMakeFiles/lbh_pcie.dir/ring.cc.o"
+  "CMakeFiles/lbh_pcie.dir/ring.cc.o.d"
+  "liblbh_pcie.a"
+  "liblbh_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/cipher.cc" "src/proto/CMakeFiles/lbh_proto.dir/cipher.cc.o" "gcc" "src/proto/CMakeFiles/lbh_proto.dir/cipher.cc.o.d"
+  "/root/repo/src/proto/marshal.cc" "src/proto/CMakeFiles/lbh_proto.dir/marshal.cc.o" "gcc" "src/proto/CMakeFiles/lbh_proto.dir/marshal.cc.o.d"
+  "/root/repo/src/proto/rpc_message.cc" "src/proto/CMakeFiles/lbh_proto.dir/rpc_message.cc.o" "gcc" "src/proto/CMakeFiles/lbh_proto.dir/rpc_message.cc.o.d"
+  "/root/repo/src/proto/service.cc" "src/proto/CMakeFiles/lbh_proto.dir/service.cc.o" "gcc" "src/proto/CMakeFiles/lbh_proto.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lbh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_proto.dir/cipher.cc.o"
+  "CMakeFiles/lbh_proto.dir/cipher.cc.o.d"
+  "CMakeFiles/lbh_proto.dir/marshal.cc.o"
+  "CMakeFiles/lbh_proto.dir/marshal.cc.o.d"
+  "CMakeFiles/lbh_proto.dir/rpc_message.cc.o"
+  "CMakeFiles/lbh_proto.dir/rpc_message.cc.o.d"
+  "CMakeFiles/lbh_proto.dir/service.cc.o"
+  "CMakeFiles/lbh_proto.dir/service.cc.o.d"
+  "liblbh_proto.a"
+  "liblbh_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

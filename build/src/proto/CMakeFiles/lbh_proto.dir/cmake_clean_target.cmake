@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblbh_proto.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_sim.dir/random.cc.o"
+  "CMakeFiles/lbh_sim.dir/random.cc.o.d"
+  "CMakeFiles/lbh_sim.dir/simulator.cc.o"
+  "CMakeFiles/lbh_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/lbh_sim.dir/time.cc.o"
+  "CMakeFiles/lbh_sim.dir/time.cc.o.d"
+  "liblbh_sim.a"
+  "liblbh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

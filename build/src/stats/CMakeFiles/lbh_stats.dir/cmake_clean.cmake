@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_stats.dir/histogram.cc.o"
+  "CMakeFiles/lbh_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/lbh_stats.dir/table.cc.o"
+  "CMakeFiles/lbh_stats.dir/table.cc.o.d"
+  "CMakeFiles/lbh_stats.dir/trace.cc.o"
+  "CMakeFiles/lbh_stats.dir/trace.cc.o.d"
+  "liblbh_stats.a"
+  "liblbh_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

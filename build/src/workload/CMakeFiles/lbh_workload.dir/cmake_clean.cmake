@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbh_workload.dir/generator.cc.o"
+  "CMakeFiles/lbh_workload.dir/generator.cc.o.d"
+  "liblbh_workload.a"
+  "liblbh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coherence_fuzz_test.cc" "tests/CMakeFiles/lbh_tests.dir/coherence_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/coherence_fuzz_test.cc.o.d"
+  "/root/repo/tests/coherence_test.cc" "tests/CMakeFiles/lbh_tests.dir/coherence_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/coherence_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/lbh_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/edge_test.cc" "tests/CMakeFiles/lbh_tests.dir/edge_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/edge_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/lbh_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/lauberhorn_test.cc" "tests/CMakeFiles/lbh_tests.dir/lauberhorn_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/lauberhorn_test.cc.o.d"
+  "/root/repo/tests/linux_stack_test.cc" "tests/CMakeFiles/lbh_tests.dir/linux_stack_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/linux_stack_test.cc.o.d"
+  "/root/repo/tests/machine_test.cc" "tests/CMakeFiles/lbh_tests.dir/machine_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/machine_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/lbh_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/lbh_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/nested_rpc_test.cc" "tests/CMakeFiles/lbh_tests.dir/nested_rpc_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/nested_rpc_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/lbh_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/nic_test.cc" "tests/CMakeFiles/lbh_tests.dir/nic_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/nic_test.cc.o.d"
+  "/root/repo/tests/os_test.cc" "tests/CMakeFiles/lbh_tests.dir/os_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/os_test.cc.o.d"
+  "/root/repo/tests/pcie_test.cc" "tests/CMakeFiles/lbh_tests.dir/pcie_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/pcie_test.cc.o.d"
+  "/root/repo/tests/proto_test.cc" "tests/CMakeFiles/lbh_tests.dir/proto_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/proto_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/lbh_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/lbh_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/lbh_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/testbed_test.cc" "tests/CMakeFiles/lbh_tests.dir/testbed_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/testbed_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/lbh_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/lbh_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lbh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lbh_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lbh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/lbh_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/lbh_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/lbh_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/lbh_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/lbh_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lbh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lbh_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lbh_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
