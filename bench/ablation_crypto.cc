@@ -38,7 +38,7 @@ Duration Measure(StackKind stack, bool encrypted, size_t payload) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   PrintHeader("ABL-CRYPTO", "transport encryption: NIC crypto engine vs software AES");
 

@@ -41,7 +41,7 @@ Duration Measure(bool posted, size_t payload) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   PrintHeader("ABL-RESP",
               "response path ablation: fetch-exclusive (Fig. 4) vs posted writes");

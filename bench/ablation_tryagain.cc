@@ -53,7 +53,7 @@ Cell Measure(Duration timeout) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   PrintHeader("ABL-TRYAGAIN", "TRYAGAIN deadline sweep (parked endpoint, idle)");
 

@@ -3,8 +3,11 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/machine.h"
@@ -19,23 +22,155 @@ inline void PrintHeader(const std::string& id, const std::string& title) {
   std::printf("\n=== %s: %s ===\n\n", id.c_str(), title.c_str());
 }
 
-// Benches accept --csv to additionally dump machine-readable rows (for
-// plotting scripts). Call once from main with argc/argv, then pass the
-// result to PrintTable.
-inline bool WantCsv(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--csv") {
-      return true;
+// Uniform command-line surface for every bench binary (EXPERIMENTS.md):
+//   --csv        additionally dump machine-readable rows for plotting
+//   --trials N   repeat the measurement N times (benches that average/fan out)
+//   --seed S     base RNG seed (trial i derives seed S + i)
+//   --json PATH  write a machine-readable BENCH_*.json result to PATH
+//   --smoke      CI mode: shrink the workload so the bench finishes in seconds
+struct BenchArgs {
+  bool csv = false;
+  bool smoke = false;
+  int trials = 1;
+  uint64_t seed = 1;
+  std::string json;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next_value = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", flag);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--csv") {
+        args.csv = true;
+      } else if (arg == "--smoke") {
+        args.smoke = true;
+      } else if (arg == "--trials") {
+        args.trials = std::atoi(next_value("--trials"));
+      } else if (arg == "--seed") {
+        args.seed = static_cast<uint64_t>(std::strtoull(next_value("--seed"), nullptr, 10));
+      } else if (arg == "--json") {
+        args.json = next_value("--json");
+      } else {
+        std::fprintf(stderr,
+                     "unknown flag %s (supported: --csv --trials N --seed S "
+                     "--json PATH --smoke)\n",
+                     arg.c_str());
+        std::exit(2);
+      }
     }
+    return args;
   }
-  return false;
-}
+};
 
 inline void PrintTable(const Table& table, bool csv) {
   table.Print();
   if (csv) {
     std::printf("\n--- csv ---\n%s", table.ToCsv().c_str());
   }
+}
+
+// Fans `trials` independent jobs across up to `max_threads` std::threads and
+// returns the per-trial results in trial order. Each Machine/Simulator stays
+// single-threaded and fully deterministic — trials share nothing, so runs
+// are embarrassingly parallel and the result for trial i is byte-identical
+// to a serial run. `fn` receives the trial index and must not touch shared
+// mutable state.
+template <typename Fn>
+auto RunTrialsParallel(int trials, Fn fn, unsigned max_threads = 0)
+    -> std::vector<decltype(fn(0))> {
+  using Result = decltype(fn(0));
+  std::vector<Result> results(static_cast<size_t>(trials));
+  if (trials <= 0) {
+    return results;
+  }
+  unsigned threads = max_threads != 0 ? max_threads : std::thread::hardware_concurrency();
+  if (threads == 0) {
+    threads = 1;
+  }
+  if (threads > static_cast<unsigned>(trials)) {
+    threads = static_cast<unsigned>(trials);
+  }
+  if (threads == 1) {
+    for (int i = 0; i < trials; ++i) {
+      results[static_cast<size_t>(i)] = fn(i);
+    }
+    return results;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&results, &next, &fn, trials] {
+      for (int i = next.fetch_add(1); i < trials; i = next.fetch_add(1)) {
+        results[static_cast<size_t>(i)] = fn(i);
+      }
+    });
+  }
+  for (std::thread& th : pool) {
+    th.join();
+  }
+  return results;
+}
+
+// Minimal JSON builder for BENCH_*.json emitters (schema: EXPERIMENTS.md).
+// Produces {"k": v, ...} objects and [v, ...] arrays; no escaping beyond
+// what bench names need (no quotes/backslashes in keys or values).
+class JsonObject {
+ public:
+  JsonObject& Field(const std::string& key, const std::string& string_value) {
+    return Raw(key, "\"" + string_value + "\"");
+  }
+  JsonObject& Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(key, buf);
+  }
+  JsonObject& Field(const std::string& key, uint64_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonObject& Field(const std::string& key, int value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonObject& Field(const std::string& key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+  // Embeds a pre-rendered JSON value (a nested object or array).
+  JsonObject& Raw(const std::string& key, const std::string& json_value) {
+    body_ += body_.empty() ? "" : ", ";
+    body_ += "\"" + key + "\": " + json_value;
+    return *this;
+  }
+  std::string Render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+inline std::string JsonArray(const std::vector<std::string>& json_values) {
+  std::string out = "[";
+  for (size_t i = 0; i < json_values.size(); ++i) {
+    out += (i != 0 ? ", " : "") + json_values[i];
+  }
+  return out + "]";
+}
+
+// Writes a BENCH_*.json payload; returns false (with a note on stderr) on
+// I/O failure so benches can exit nonzero.
+inline bool WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  return true;
 }
 
 // Builds a machine with one echo service and runs a closed-loop warm-up so

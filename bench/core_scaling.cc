@@ -23,7 +23,7 @@ struct Sample {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   PrintHeader("SCALE", "NIC-driven core scaling across a load step (lauberhorn)");
 

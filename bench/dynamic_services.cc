@@ -75,7 +75,7 @@ Cell Measure(StackKind stack, int num_services, double rate_rps) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   constexpr double kRate = 100000.0;
   PrintHeader("DYN", "services >> cores: 8 cores, Zipf(1.0), 100 krps, 20us handlers");

@@ -74,7 +74,7 @@ Row MeasureStack(StackKind stack, bool hot) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   PrintHeader("TBL-END",
               "end-system latency and CPU cost per 64B RPC (Enzian platform)");

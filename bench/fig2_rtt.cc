@@ -184,7 +184,7 @@ Duration MeasureDmaRtt(const PlatformSpec& platform, bool polling) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   PrintHeader("FIG2", "64-byte message round-trip latencies (CPU <-> NIC)");
 

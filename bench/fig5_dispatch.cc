@@ -44,7 +44,7 @@ Duration MeasureEndSystem(StackKind stack, bool hot) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   const PlatformSpec platform = PlatformSpec::EnzianEci();
   const OsCostModel& os = platform.os;

@@ -46,7 +46,7 @@ Duration MeasureAt(size_t payload, LargeTransferPolicy policy) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   PrintHeader("XOVER", "cache-line protocol vs DMA across payload sizes (Enzian)");
 

@@ -41,7 +41,7 @@ Row Measure(const PlatformSpec& platform) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   PrintHeader("PROJ", "Lauberhorn across interconnect generations (64B echo, hot)");
 

@@ -51,7 +51,7 @@ Cell Measure(StackKind stack, double rate_rps) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   PrintHeader("TAIL", "latency vs offered load (echo, 2us service, 8 cores, 200ms window)");
 

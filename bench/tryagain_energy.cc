@@ -55,7 +55,7 @@ Cell Measure(StackKind stack, double rate_rps) {
 }  // namespace lauberhorn
 
 int main(int argc, char** argv) {
-  const bool csv = lauberhorn::WantCsv(argc, argv);
+  const bool csv = lauberhorn::BenchArgs::Parse(argc, argv).csv;
   using namespace lauberhorn;
   PrintHeader("ENERGY",
               "polling overhead: spin-poll vs blocked load + TRYAGAIN (4 cores)");

@@ -43,7 +43,7 @@ void CacheAgent::StoreThrough(uint64_t addr, std::span<const uint8_t> data) {
                                   std::vector<uint8_t>(data.begin(), data.end()));
 }
 
-void CacheAgent::AcquireMshr(std::function<void()> start) {
+void CacheAgent::AcquireMshr(Callback start) {
   if (mshrs_in_use_ < interconnect_.config().mshrs_per_agent) {
     ++mshrs_in_use_;
     start();

@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -24,8 +23,8 @@ namespace lauberhorn {
 
 class CacheAgent {
  public:
-  using LoadFn = std::function<void(std::vector<uint8_t>)>;
-  using StoreFn = std::function<void()>;
+  using LoadFn = Function<void(std::vector<uint8_t>)>;
+  using StoreFn = Callback;
 
   struct ProbeResult {
     bool had = false;
@@ -96,7 +95,7 @@ class CacheAgent {
   void ExecuteOp(LineAddr line_addr, Op op);
   // MSHR throttling: at most config.mshrs_per_agent line transactions in
   // flight; excess requests queue FIFO.
-  void AcquireMshr(std::function<void()> start);
+  void AcquireMshr(Callback start);
   void ReleaseMshr();
 
   CoherentInterconnect& interconnect_;
@@ -107,7 +106,7 @@ class CacheAgent {
   uint64_t misses_ = 0;
   uint64_t loads_through_ = 0;
   size_t mshrs_in_use_ = 0;
-  std::deque<std::function<void()>> mshr_waiters_;
+  std::deque<Callback> mshr_waiters_;
 };
 
 }  // namespace lauberhorn

@@ -16,9 +16,9 @@
 #define SRC_COHERENCE_COHERENCE_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "src/sim/callback.h"
 #include "src/sim/time.h"
 
 namespace lauberhorn {
@@ -83,7 +83,7 @@ struct CoherenceConfig {
 // Invoked by a home agent to answer a read request. Must be called exactly
 // once per request; calling after the bus timeout has fired is ignored (the
 // machine is already considered wedged).
-using FillFn = std::function<void(LineData)>;
+using FillFn = Function<void(LineData)>;
 
 // A home agent owns a range of line addresses and answers requests for them.
 class HomeAgent {

@@ -150,7 +150,7 @@ void CoherentInterconnect::SendUncachedWrite(AgentId from, LineAddr addr, size_t
 }
 
 void CoherentInterconnect::FetchExclusive(AgentId home, LineAddr addr, LineData fallback,
-                                          std::function<void(LineData)> done) {
+                                          Function<void(LineData)> done) {
   const Duration hop = HopLatency(home);
   auto it = directory_.find(addr);
   const AgentId owner = it != directory_.end() ? it->second.owner : kNoAgent;
@@ -190,7 +190,7 @@ void CoherentInterconnect::FetchExclusive(AgentId home, LineAddr addr, LineData 
 }
 
 void CoherentInterconnect::Invalidate(AgentId home, LineAddr addr,
-                                      std::function<void()> done) {
+                                      Callback done) {
   const Duration hop = HopLatency(home);
   auto it = directory_.find(addr);
   Duration longest = 0;

@@ -4,7 +4,6 @@
 #ifndef SRC_COHERENCE_INTERCONNECT_H_
 #define SRC_COHERENCE_INTERCONNECT_H_
 
-#include <functional>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -63,11 +62,11 @@ class CoherentInterconnect {
   // data flows back; otherwise the home's own copy (supplied via `fallback`)
   // is returned. `done` runs at the home side.
   void FetchExclusive(AgentId home, LineAddr addr, LineData fallback,
-                      std::function<void(LineData)> done);
+                      Function<void(LineData)> done);
 
   // Invalidates all cached copies without returning data (used by the NIC to
   // re-arm a control line so the next CPU load misses and reaches the NIC).
-  void Invalidate(AgentId home, LineAddr addr, std::function<void()> done = nullptr);
+  void Invalidate(AgentId home, LineAddr addr, Callback done = nullptr);
 
   // -- Introspection ------------------------------------------------------
 
@@ -79,7 +78,7 @@ class CoherentInterconnect {
   std::vector<AgentId> SharersOf(LineAddr addr) const;
 
   // Test hook invoked on a bus error (fill deferred past bus_timeout).
-  void set_bus_error_handler(std::function<void(LineAddr)> handler) {
+  void set_bus_error_handler(Function<void(LineAddr)> handler) {
     bus_error_handler_ = std::move(handler);
   }
 
@@ -105,7 +104,7 @@ class CoherentInterconnect {
   std::vector<HomeRange> homes_;  // indexed by AgentId - kHomeAgentBase
   std::unordered_map<LineAddr, DirEntry> directory_;
   CoherenceStats stats_;
-  std::function<void(LineAddr)> bus_error_handler_;
+  Function<void(LineAddr)> bus_error_handler_;
   uint64_t next_fill_token_ = 1;
   std::set<uint64_t> outstanding_fills_;  // tokens with a pending watchdog
 

@@ -5,7 +5,6 @@
 #define SRC_CORE_CLIENT_H_
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -37,7 +36,7 @@ class RpcClient : public PacketSink {
     uint64_t root_key = 0;
   };
 
-  using ResponseFn = std::function<void(const RpcMessage&, Duration rtt)>;
+  using ResponseFn = Function<void(const RpcMessage&, Duration rtt)>;
 
   RpcClient(Simulator& sim, LinkDirection& to_server);  // default config
   RpcClient(Simulator& sim, LinkDirection& to_server, Config config);

@@ -162,12 +162,11 @@ void Machine::HookLatencyTracking() {
     ++server_rpcs_;
   };
   if (dma_nic_ != nullptr) {
-    dma_nic_->on_wire_rx = on_rx;
-    dma_nic_->on_wire_tx = on_tx;
-  }
-  if (lauberhorn_nic_ != nullptr) {
-    lauberhorn_nic_->on_wire_rx = on_rx;
-    lauberhorn_nic_->on_wire_tx = on_tx;
+    dma_nic_->on_wire_rx = std::move(on_rx);
+    dma_nic_->on_wire_tx = std::move(on_tx);
+  } else if (lauberhorn_nic_ != nullptr) {
+    lauberhorn_nic_->on_wire_rx = std::move(on_rx);
+    lauberhorn_nic_->on_wire_tx = std::move(on_tx);
   }
 }
 

@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "src/net/headers.h"
@@ -57,8 +56,8 @@ class DmaNic : public PacketSink, public MmioDevice {
 
   // Observation hooks for latency tracking: invoked the moment a frame
   // arrives from / departs to the wire (before any queueing).
-  std::function<void(const Packet&)> on_wire_rx;
-  std::function<void(const Packet&)> on_wire_tx;
+  Function<void(const Packet&)> on_wire_rx;
+  Function<void(const Packet&)> on_wire_tx;
 
   uint64_t rx_packets() const { return rx_packets_; }
   uint64_t rx_drops_no_desc() const { return rx_drops_no_desc_; }

@@ -724,7 +724,7 @@ void LauberhornNic::CollectResponse(Endpoint& ep, OutstandingRequest outstanding
         auto meta = std::make_shared<PreparedRequest>(outstanding.request);
         auto resp = std::make_shared<RpcMessage>(std::move(response));
         const size_t resp_len = response_line->resp_len;
-        auto issue = std::make_shared<std::function<void()>>();
+        auto issue = std::make_shared<Callback>();
         *issue = [this, ep_id, aux_count, payload_parts, pending, next_index, meta,
                   resp, resp_len, issue]() {
           if (*next_index >= aux_count) {

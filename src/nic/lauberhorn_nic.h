@@ -25,7 +25,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -168,10 +167,10 @@ class LauberhornNic : public HomeAgent, public PacketSink {
 
   // Invoked (as a model of an interrupt to the OS) when a cold request is
   // queued and no kernel channel is armed.
-  std::function<void()> on_need_dispatcher;
+  Callback on_need_dispatcher;
   // Observation hooks for latency tracking.
-  std::function<void(const Packet&)> on_wire_rx;
-  std::function<void(const Packet&)> on_wire_tx;
+  Function<void(const Packet&)> on_wire_rx;
+  Function<void(const Packet&)> on_wire_tx;
 
   // -- Interfaces ---------------------------------------------------------------
 

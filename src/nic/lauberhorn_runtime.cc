@@ -227,7 +227,7 @@ void LauberhornRuntime::LoopIter(EndpointRt& rt, Core& core) {
 
 void LauberhornRuntime::GatherArgs(
     uint32_t line_owner_endpoint, Core& core, const DispatchLine& dispatch,
-    std::function<void(std::vector<uint8_t>, Duration)> done) {
+    Function<void(std::vector<uint8_t>, Duration)> done) {
   if (dispatch.via_dma) {
     // Arguments were DMA'd into the endpoint's host buffer; the handler reads
     // them from memory (charged as copy/touch cost).
@@ -246,7 +246,7 @@ void LauberhornRuntime::GatherArgs(
   auto parts = std::make_shared<std::vector<std::vector<uint8_t>>>(aux_count);
   auto pending = std::make_shared<size_t>(aux_count);
   auto base = std::make_shared<std::vector<uint8_t>>(std::move(args));
-  auto cb = std::make_shared<std::function<void(std::vector<uint8_t>, Duration)>>(
+  auto cb = std::make_shared<Function<void(std::vector<uint8_t>, Duration)>>(
       std::move(done));
   const uint32_t arg_len = dispatch.arg_len;
   for (size_t i = 0; i < aux_count; ++i) {
@@ -269,7 +269,7 @@ void LauberhornRuntime::GatherArgs(
 void LauberhornRuntime::IssueNested(Core& core, const MethodDef& method,
                                     const DispatchLine& dispatch,
                                     std::vector<WireValue> values,
-                                    std::function<void(RpcMessage, Duration)> done) {
+                                    Function<void(RpcMessage, Duration)> done) {
   // Phase 1: the handler body up to the nested call.
   const Duration phase1 = config_.handler_entry + method.service_time(values);
   core.Run(phase1, CoreMode::kUser, [this, &core, &method, dispatch,
@@ -299,12 +299,15 @@ void LauberhornRuntime::IssueNested(Core& core, const MethodDef& method,
 
     // Park on the continuation's control line for the reply (§6: "a dedicated
     // end-point for an RPC reply"). TRYAGAIN re-parks until it arrives.
-    auto park = std::make_shared<std::function<void()>>();
+    // `done` fires once but the park lambda re-arms on TRYAGAIN, so the
+    // (move-only) continuation is shared across re-parks.
+    auto done_sh = std::make_shared<Function<void(RpcMessage, Duration)>>(std::move(done));
+    auto park = std::make_shared<Callback>();
     *park = [this, &core, continuation, call, dispatch, values = std::move(values),
-             response = std::move(response), done = std::move(done), park]() mutable {
+             response = std::move(response), done_sh, park]() mutable {
       core.BlockOnLoad(
           nic_.CtrlAddr(*continuation, 0), nic_.line_size(),
-          [this, &core, continuation, call, dispatch, values, response, done,
+          [this, &core, continuation, call, dispatch, values, response, done_sh,
            park](std::vector<uint8_t> data) mutable {
             const auto reply_line = DispatchLine::Decode(data);
             if (reply_line.has_value() && reply_line->kind == LineKind::kTryAgain) {
@@ -316,11 +319,11 @@ void LauberhornRuntime::IssueNested(Core& core, const MethodDef& method,
               nic_.FreeContinuation(*continuation);
               ++nested_failed_;
               response.status = RpcStatus::kInternal;
-              done(std::move(response), 0);
+              (*done_sh)(std::move(response), 0);
               return;
             }
             GatherArgs(*continuation, core, *reply_line,
-                       [this, continuation, call, values, response, done,
+                       [this, continuation, call, values, response, done_sh,
                         dispatch](std::vector<uint8_t> reply_bytes,
                                   Duration extra) mutable {
                          nic_.FreeContinuation(*continuation);
@@ -334,14 +337,14 @@ void LauberhornRuntime::IssueNested(Core& core, const MethodDef& method,
                                             reply_values) ||
                              method == nullptr) {
                            response.status = RpcStatus::kInternal;
-                           done(std::move(response), extra);
+                           (*done_sh)(std::move(response), extra);
                            return;
                          }
                          const std::vector<WireValue> result =
                              method->nested_finish(values, reply_values);
                          MarshalArgs(method->response_sig, result, response.payload);
                          // Phase 2 (finish) is charged by the caller.
-                         done(std::move(response), extra + config_.handler_entry);
+                         (*done_sh)(std::move(response), extra + config_.handler_entry);
                        });
           });
     };

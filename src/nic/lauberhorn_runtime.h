@@ -103,7 +103,7 @@ class LauberhornRuntime : public SchedStateListener {
   // combined response to `done` (with the finish phase's CPU cost to charge).
   void IssueNested(Core& core, const MethodDef& method, const DispatchLine& dispatch,
                    std::vector<WireValue> values,
-                   std::function<void(RpcMessage, Duration)> done);
+                   Function<void(RpcMessage, Duration)> done);
   void WriteResponse(EndpointRt& rt, Core& core, const DispatchLine& dispatch,
                      RpcMessage response, Duration user_cost);
   void ExitLoop(EndpointRt& rt, Core& core);
@@ -121,7 +121,7 @@ class LauberhornRuntime : public SchedStateListener {
   // Builds the full marshalled args: inline + aux lines + DMA, with costs
   // charged on `core`, then invokes `done(args_bytes, extra_user_cost)`.
   void GatherArgs(uint32_t line_owner_endpoint, Core& core, const DispatchLine& dispatch,
-                  std::function<void(std::vector<uint8_t>, Duration)> done);
+                  Function<void(std::vector<uint8_t>, Duration)> done);
 
   Simulator& sim_;
   Kernel& kernel_;

@@ -34,13 +34,13 @@ void Core::ResetAccounting() {
   last_transition_ = sim_.Now();
 }
 
-void Core::Run(Duration d, CoreMode mode, std::function<void()> then) {
+void Core::Run(Duration d, CoreMode mode, Callback then) {
   assert(!active_run_.has_value() && "core already running a work item");
   assert(mode == CoreMode::kUser || mode == CoreMode::kKernel || mode == CoreMode::kSpin);
   StartChunk(d, mode, std::move(then));
 }
 
-void Core::StartChunk(Duration total, CoreMode mode, std::function<void()> then) {
+void Core::StartChunk(Duration total, CoreMode mode, Callback then) {
   SwitchMode(mode);
   const Duration chunk = std::min(total, costs_.max_run_quantum);
   ActiveRun run;
@@ -76,13 +76,14 @@ void Core::FinishChunk() {
 }
 
 void Core::BlockOnLoad(uint64_t addr, size_t size,
-                       std::function<void(std::vector<uint8_t>)> then) {
+                       Function<void(std::vector<uint8_t>)> then) {
   assert(!active_run_.has_value() && "cannot block while running");
   assert(mode_ != CoreMode::kBlockedOnLoad && "already blocked");
   SwitchMode(CoreMode::kBlockedOnLoad);
   // Control-line loads are non-caching (load-to-registers): the home always
   // sees them and no stale copy can linger locally.
-  cache_.LoadThrough(addr, size, [this, then = std::move(then)](std::vector<uint8_t> data) {
+  cache_.LoadThrough(addr, size,
+                     [this, then = std::move(then)](std::vector<uint8_t> data) mutable {
     SwitchMode(CoreMode::kIdle);
     if (pending_irqs_.empty()) {
       then(std::move(data));
@@ -101,7 +102,7 @@ void Core::BlockOnLoad(uint64_t addr, size_t size,
   });
 }
 
-void Core::RaiseIrq(std::function<void()> handler_done, Duration handler_cost) {
+void Core::RaiseIrq(Callback handler_done, Duration handler_cost) {
   PendingIrq irq;
   irq.cost = handler_cost >= 0 ? handler_cost : costs_.irq_top_half;
   irq.done = std::move(handler_done);

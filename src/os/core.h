@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
 
 #include "src/coherence/cache_agent.h"
@@ -59,21 +58,21 @@ class Core {
   // into max_run_quantum chunks; at chunk boundaries a pending preemption
   // request stops the run and hands the remainder to `on_preempted`.
   // Only one Run may be active at a time.
-  void Run(Duration d, CoreMode mode, std::function<void()> then);
+  void Run(Duration d, CoreMode mode, Callback then);
 
   // Issues a blocking load: the core stalls (kBlockedOnLoad) until the fill
   // arrives. Pending interrupts are delivered after unblocking, before
   // `then` — matching a stalled core that takes the IRQ when the load
   // retires (§5.1's preemption dance relies on this).
   void BlockOnLoad(uint64_t addr, size_t size,
-                   std::function<void(std::vector<uint8_t>)> then);
+                   Function<void(std::vector<uint8_t>)> then);
   bool blocked_on_load() const { return mode_ == CoreMode::kBlockedOnLoad; }
 
   // Delivers an interrupt. Running work is paused (resumed afterwards),
   // an idle core wakes, a blocked core queues the IRQ until unblock.
   // `handler_done` runs in kernel context at handler completion; it must not
   // call Run — post work to threads instead.
-  void RaiseIrq(std::function<void()> handler_done,
+  void RaiseIrq(Callback handler_done,
                 Duration handler_cost = Duration{-1});
 
   // True if the scheduler may dispatch a thread: idle, nothing paused, no
@@ -90,11 +89,11 @@ class Core {
   bool preempt_requested() const { return preempt_requested_; }
   void ClearPreempt() { preempt_requested_ = false; }
   // Receives (remaining, mode, continuation) of a preempted run.
-  std::function<void(Duration, CoreMode, std::function<void()>)> on_preempted;
+  Function<void(Duration, CoreMode, Callback)> on_preempted;
   // Invoked when the core settles into idle after IRQ processing — the hook
   // the scheduler uses to claim the core for ready threads (a real kernel
   // runs schedule() on the interrupt-return path).
-  std::function<void(Core&)> on_became_idle;
+  Function<void(Core&)> on_became_idle;
 
   // -- Accounting -------------------------------------------------------------
 
@@ -110,15 +109,15 @@ class Core {
     SimTime chunk_end = 0;
     Duration remaining_after_chunk = 0;
     CoreMode run_mode = CoreMode::kUser;
-    std::function<void()> then;
+    Callback then;
   };
   struct PendingIrq {
     Duration cost;
-    std::function<void()> done;
+    Callback done;
   };
 
   void SwitchMode(CoreMode next);
-  void StartChunk(Duration total, CoreMode mode, std::function<void()> then);
+  void StartChunk(Duration total, CoreMode mode, Callback then);
   void FinishChunk();
   void DeliverIrq(PendingIrq irq);
   void AfterIrq();
@@ -141,7 +140,7 @@ class Core {
   bool in_irq_ = false;
   std::deque<PendingIrq> pending_irqs_;
   // Runs after the IRQ queue drains (blocked-load continuation).
-  std::function<void()> after_irq_hook_;
+  Callback after_irq_hook_;
   bool preempt_requested_ = false;
 };
 

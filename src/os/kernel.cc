@@ -57,7 +57,7 @@ Process* Kernel::FindProcess(Pid pid) {
   return nullptr;
 }
 
-void Kernel::SendIpi(size_t target_core, std::function<void()> handler_done) {
+void Kernel::SendIpi(size_t target_core, Callback handler_done) {
   assert(target_core < cores_.size());
   sim_.Schedule(config_.costs.ipi, [this, target_core,
                                     handler_done = std::move(handler_done)]() mutable {

@@ -4,7 +4,6 @@
 #ifndef SRC_OS_KERNEL_H_
 #define SRC_OS_KERNEL_H_
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -59,7 +58,7 @@ class Kernel {
 
   // Sends an inter-processor interrupt; `handler_done` runs on the target
   // core in kernel context.
-  void SendIpi(size_t target_core, std::function<void()> handler_done);
+  void SendIpi(size_t target_core, Callback handler_done);
 
   // -- Sockets ---------------------------------------------------------------
 

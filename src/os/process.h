@@ -10,10 +10,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "src/sim/callback.h"
 
 namespace lauberhorn {
 
@@ -38,7 +39,7 @@ enum class ThreadState : uint8_t {
 // A unit of modelled execution. The body receives the core it runs on; it
 // must eventually call Scheduler::OnWorkDone(core) exactly once (possibly
 // after chained Core::Run calls) to release the core.
-using WorkItem = std::function<void(Core&)>;
+using WorkItem = Function<void(Core&)>;
 
 class Thread {
  public:

@@ -22,7 +22,7 @@ Scheduler::Scheduler(Simulator& sim, const OsCostModel& costs, std::vector<Core*
     : sim_(sim), costs_(costs), cores_(std::move(cores)), resume_(cores_.size()) {
   for (Core* core : cores_) {
     core->on_preempted = [this, core](Duration remaining, CoreMode mode,
-                                      std::function<void()> then) {
+                                      Callback then) {
       HandlePreempted(*core, remaining, mode, std::move(then));
     };
   }
@@ -244,7 +244,7 @@ void Scheduler::Detach(Thread* thread, Core& core) {
 }
 
 void Scheduler::HandlePreempted(Core& core, Duration remaining, CoreMode mode,
-                                std::function<void()> then) {
+                                Callback then) {
   ++preemptions_;
   Thread* thread = core.current_thread();
   assert(thread != nullptr);
@@ -254,8 +254,8 @@ void Scheduler::HandlePreempted(Core& core, Duration remaining, CoreMode mode,
                  thread->name().c_str(), core.index());
   }
 #endif
-  thread->PushWorkFront([remaining, mode, then = std::move(then)](Core& c) {
-    c.Run(remaining, mode, then);
+  thread->PushWorkFront([remaining, mode, then = std::move(then)](Core& c) mutable {
+    c.Run(remaining, mode, std::move(then));
   });
   if (on_placement_change) {
     on_placement_change(thread, core.index(), /*running=*/false);

@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "src/os/core.h"
@@ -48,7 +47,7 @@ class Scheduler {
 
   // Invoked when a thread starts/stops occupying a core (drives the shared
   // scheduling state of §5.2).
-  std::function<void(Thread*, int core, bool running)> on_placement_change;
+  Function<void(Thread*, int core, bool running)> on_placement_change;
 
  private:
   Thread* PickNext(Core& core);
@@ -56,7 +55,7 @@ class Scheduler {
   void RemoveFromQueues(Thread* thread);
   void Dispatch(Core& core, Thread* thread);
   void HandlePreempted(Core& core, Duration remaining, CoreMode mode,
-                       std::function<void()> then);
+                       Callback then);
   void TimerTick();
 
   Simulator& sim_;

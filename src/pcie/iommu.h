@@ -7,11 +7,11 @@
 #define SRC_PCIE_IOMMU_H_
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/sim/callback.h"
 #include "src/sim/time.h"
 
 namespace lauberhorn {
@@ -47,7 +47,7 @@ class Iommu {
   uint64_t iotlb_misses() const { return iotlb_misses_; }
 
   // Invoked on every fault with the offending IOVA.
-  void set_fault_handler(std::function<void(uint64_t)> handler) {
+  void set_fault_handler(Function<void(uint64_t)> handler) {
     fault_handler_ = std::move(handler);
   }
 
@@ -58,7 +58,7 @@ class Iommu {
   uint64_t faults_ = 0;
   uint64_t iotlb_hits_ = 0;
   uint64_t iotlb_misses_ = 0;
-  std::function<void(uint64_t)> fault_handler_;
+  Function<void(uint64_t)> fault_handler_;
 };
 
 }  // namespace lauberhorn

@@ -44,10 +44,10 @@ void PcieLink::HostMmioWrite(uint64_t offset, uint64_t value) {
   });
 }
 
-void PcieLink::HostMmioRead(uint64_t offset, std::function<void(uint64_t)> on_done) {
+void PcieLink::HostMmioRead(uint64_t offset, Function<void(uint64_t)> on_done) {
   ++mmio_reads_;
   // Half the round trip to reach the device, the rest for the completion.
-  sim_.Schedule(config_.mmio_read / 2, [this, offset, on_done = std::move(on_done)]() {
+  sim_.Schedule(config_.mmio_read / 2, [this, offset, on_done = std::move(on_done)]() mutable {
     const uint64_t value = device_ != nullptr ? device_->OnMmioRead(offset) : ~0ULL;
     sim_.Schedule(config_.mmio_read / 2, [value, on_done = std::move(on_done)]() {
       on_done(value);
@@ -56,7 +56,7 @@ void PcieLink::HostMmioRead(uint64_t offset, std::function<void(uint64_t)> on_do
 }
 
 void PcieLink::DeviceDmaRead(uint64_t iova, size_t size,
-                             std::function<void(std::vector<uint8_t>)> on_done) {
+                             Function<void(std::vector<uint8_t>)> on_done) {
   std::vector<Chunk> chunks;
   if (!TranslateRange(iova, size, chunks)) {
     sim_.Schedule(config_.dma_read_latency,
@@ -82,7 +82,7 @@ void PcieLink::DeviceDmaRead(uint64_t iova, size_t size,
 }
 
 void PcieLink::DeviceDmaWrite(uint64_t iova, std::vector<uint8_t> data,
-                              std::function<void()> on_done) {
+                              Callback on_done) {
   std::vector<Chunk> chunks;
   if (!TranslateRange(iova, data.size(), chunks)) {
     return;  // faulted; fault handler already notified via the IOMMU

@@ -9,7 +9,6 @@
 #define SRC_PCIE_PCIE_LINK_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "src/coherence/memory_home.h"
@@ -49,19 +48,19 @@ class PcieLink {
   void HostMmioWrite(uint64_t offset, uint64_t value);
 
   // Non-posted register read; `on_done` runs at the host after the round trip.
-  void HostMmioRead(uint64_t offset, std::function<void(uint64_t)> on_done);
+  void HostMmioRead(uint64_t offset, Function<void(uint64_t)> on_done);
 
   // -- Device-initiated (DMA through the IOMMU) ---------------------------
 
   // Reads `size` bytes at `iova` from host memory. On an IOMMU fault the
   // callback receives an empty vector.
   void DeviceDmaRead(uint64_t iova, size_t size,
-                     std::function<void(std::vector<uint8_t>)> on_done);
+                     Function<void(std::vector<uint8_t>)> on_done);
 
   // Posted write of `data` to host memory at `iova`. `on_done` (optional)
   // runs once the write is globally visible.
   void DeviceDmaWrite(uint64_t iova, std::vector<uint8_t> data,
-                      std::function<void()> on_done = nullptr);
+                      Callback on_done = nullptr);
 
   // -- Stats ---------------------------------------------------------------
 
@@ -101,7 +100,7 @@ class Msix {
  public:
   Msix(Simulator& sim, Duration latency) : sim_(sim), latency_(latency) {}
 
-  using Handler = std::function<void()>;
+  using Handler = Callback;
 
   void SetHandler(uint32_t vector, Handler handler);
   void Trigger(uint32_t vector);

@@ -1,0 +1,147 @@
+// Small-buffer-optimized, move-only callables for the simulator hot path.
+//
+// Every event the Simulator executes carries a callback; with std::function
+// each capture beyond a couple of words costs a heap allocation and a
+// type-erasure indirection per event. Function<Sig> inlines captures up to
+// kInlineSize bytes (64 — two cache lines of slab slot stay intact) directly
+// in the object and only falls back to the heap for larger captures. It is
+// move-only, which also lets callbacks own move-only state (unique_ptr,
+// another Function) that std::function cannot hold.
+//
+// Callback is the scheduling currency: Simulator::Schedule takes one, and the
+// layers above (coherence, PCIe, OS, NIC) pass their continuations as
+// Function types so a capture travels from the call site into the event slab
+// without ever touching the allocator.
+#ifndef SRC_SIM_CALLBACK_H_
+#define SRC_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lauberhorn {
+
+template <typename Sig>
+class Function;
+
+template <typename R, typename... Args>
+class Function<R(Args...)> {
+ public:
+  // Inline capture budget. Chosen so a Simulator event slot (timestamps +
+  // heap bookkeeping + callback) spans exactly two cache lines.
+  static constexpr size_t kInlineSize = 64;
+
+  Function() = default;
+  Function(std::nullptr_t) {}  // NOLINT: implicit, mirrors std::function
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Function> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  Function(F&& f) {  // NOLINT: implicit, mirrors std::function
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  Function(Function&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  Function& operator=(Function&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  Function& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  ~Function() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(const_cast<unsigned char*>(storage_),
+                        std::forward<Args>(args)...);
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  friend bool operator==(const Function& f, std::nullptr_t) { return !f; }
+  friend bool operator==(std::nullptr_t, const Function& f) { return !f; }
+  friend bool operator!=(const Function& f, std::nullptr_t) { return static_cast<bool>(f); }
+  friend bool operator!=(std::nullptr_t, const Function& f) { return static_cast<bool>(f); }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs dst from src and destroys src (src storage, not *this).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(s)))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/[](void* dst, void* src) {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      /*destroy=*/[](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* s, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(s)))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/[](void* dst, void* src) {
+        *reinterpret_cast<D**>(dst) = *std::launder(reinterpret_cast<D**>(src));
+      },
+      /*destroy=*/[](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); },
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+// The simulator's event payload: a nullary continuation.
+using Callback = Function<void()>;
+
+}  // namespace lauberhorn
+
+#endif  // SRC_SIM_CALLBACK_H_

@@ -11,7 +11,6 @@
 #define SRC_WORKLOAD_GENERATOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "src/core/client.h"
@@ -95,7 +94,7 @@ class ClosedLoopGenerator {
   uint64_t sent() const { return sent_; }
   uint64_t completed() const { return completed_; }
   // Fires when max_requests completions have been observed.
-  std::function<void()> on_finished;
+  Callback on_finished;
 
  private:
   void FireOne();
