@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/coherence/cache_agent.h"
+#include "src/fault/fault.h"
 
 namespace lauberhorn {
 
@@ -99,6 +100,11 @@ void CoherentInterconnect::SendRead(AgentId requester, LineAddr addr, bool exclu
     FillFn respond = [this, requester, addr, exclusive, install,
                       on_fill = std::move(on_fill), hop, token, watchdog,
                       recall_extra](LineData data) mutable {
+      if (faults_ != nullptr && faults_->CoherenceShouldDropFill()) {
+        // Swallow the fill message: the token stays outstanding, so the
+        // watchdog armed above fires and raises a bus error.
+        return;
+      }
       if (outstanding_fills_.erase(token) == 0) {
         return;  // bus error already raised; machine considered wedged
       }
@@ -113,7 +119,11 @@ void CoherentInterconnect::SendRead(AgentId requester, LineAddr addr, bool exclu
           e.sharers.insert(requester);
         }
       }
-      sim_.Schedule(hop + config_.data_beat + recall_extra,
+      Duration fault_delay = 0;
+      if (faults_ != nullptr) {
+        fault_delay = faults_->CoherenceFillDelay();
+      }
+      sim_.Schedule(hop + config_.data_beat + recall_extra + fault_delay,
                     [on_fill = std::move(on_fill), data = std::move(data)]() mutable {
                       on_fill(std::move(data));
                     });

@@ -15,6 +15,7 @@
 namespace lauberhorn {
 
 class CacheAgent;
+class FaultInjector;
 
 class CoherentInterconnect {
  public:
@@ -82,6 +83,10 @@ class CoherentInterconnect {
     bus_error_handler_ = std::move(handler);
   }
 
+  // Optional fault injection (src/fault): fills can be delayed or dropped;
+  // a dropped fill is exactly what the bus-timeout watchdog catches.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   struct HomeRange {
     HomeAgent* agent = nullptr;
@@ -105,6 +110,7 @@ class CoherentInterconnect {
   std::unordered_map<LineAddr, DirEntry> directory_;
   CoherenceStats stats_;
   Function<void(LineAddr)> bus_error_handler_;
+  FaultInjector* faults_ = nullptr;
   uint64_t next_fill_token_ = 1;
   std::set<uint64_t> outstanding_fills_;  // tokens with a pending watchdog
 

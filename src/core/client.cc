@@ -1,5 +1,6 @@
 #include "src/core/client.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -9,7 +10,11 @@ RpcClient::RpcClient(Simulator& sim, LinkDirection& to_server)
     : RpcClient(sim, to_server, Config{}) {}
 
 RpcClient::RpcClient(Simulator& sim, LinkDirection& to_server, Config config)
-    : sim_(sim), to_server_(to_server), config_(config) {}
+    : sim_(sim),
+      to_server_(to_server),
+      config_(config),
+      rng_(config.seed),
+      retry_tokens_(config.retry_budget_burst) {}
 
 uint64_t RpcClient::Call(const ServiceDef& service, uint16_t method_id,
                          std::span<const WireValue> args, ResponseFn on_done) {
@@ -36,6 +41,7 @@ uint64_t RpcClient::CallRaw(uint16_t dst_port, uint32_t service_id, uint16_t met
   pending.service_id = service_id;
   pending.method_id = method_id;
   pending.payload = std::move(payload);
+  pending.rto = config_.retransmit_timeout;
   auto [it, inserted] = pending_.emplace(request_id, std::move(pending));
   ++sent_;
   SendFrame(request_id, it->second);
@@ -78,8 +84,29 @@ void RpcClient::ArmTimer(uint64_t request_id) {
   if (it == pending_.end()) {
     return;
   }
-  it->second.timer = sim_.Schedule(config_.retransmit_timeout,
-                                   [this, request_id]() { OnTimeout(request_id); });
+  Duration delay = it->second.rto;
+  if (config_.retransmit_jitter > 0.0) {
+    const double spread = config_.retransmit_jitter * (2.0 * rng_.NextDouble() - 1.0);
+    delay = static_cast<Duration>(static_cast<double>(delay) * (1.0 + spread));
+    delay = std::max<Duration>(delay, 1);
+  }
+  it->second.timer =
+      sim_.Schedule(delay, [this, request_id]() { OnTimeout(request_id); });
+}
+
+bool RpcClient::SpendRetryToken() {
+  if (config_.retry_budget_per_sec <= 0.0) {
+    return true;
+  }
+  const SimTime now = sim_.Now();
+  retry_tokens_ += ToSeconds(now - retry_refill_at_) * config_.retry_budget_per_sec;
+  retry_tokens_ = std::min(retry_tokens_, config_.retry_budget_burst);
+  retry_refill_at_ = now;
+  if (retry_tokens_ < 1.0) {
+    return false;
+  }
+  retry_tokens_ -= 1.0;
+  return true;
 }
 
 void RpcClient::OnTimeout(uint64_t request_id) {
@@ -92,6 +119,7 @@ void RpcClient::OnTimeout(uint64_t request_id) {
     ++timeouts_;
     Pending expired = std::move(pending);
     pending_.erase(it);
+    RetireId(request_id);  // a response may still straggle in
     if (expired.on_done) {
       RpcMessage msg;
       msg.kind = MessageKind::kResponse;
@@ -102,9 +130,35 @@ void RpcClient::OnTimeout(uint64_t request_id) {
     return;
   }
   ++pending.attempts;
-  ++retransmits_;
-  SendFrame(request_id, pending);
+  // Back off whether or not the budget lets this copy onto the wire: the
+  // point of the budget is to shed load, not to queue it up.
+  pending.rto = static_cast<Duration>(static_cast<double>(pending.rto) *
+                                      config_.backoff_multiplier);
+  if (config_.max_retransmit_timeout > 0) {
+    pending.rto = std::min(pending.rto, config_.max_retransmit_timeout);
+  }
+  pending.rto = std::max<Duration>(pending.rto, 1);
+  if (SpendRetryToken()) {
+    ++retransmits_;
+    SendFrame(request_id, pending);
+  } else {
+    ++retransmits_suppressed_;
+  }
   ArmTimer(request_id);
+}
+
+void RpcClient::RetireId(uint64_t request_id) {
+  if (config_.retired_window == 0) {
+    return;
+  }
+  if (!retired_.insert(request_id).second) {
+    return;
+  }
+  retired_order_.push_back(request_id);
+  while (retired_order_.size() > config_.retired_window) {
+    retired_.erase(retired_order_.front());
+    retired_order_.pop_front();
+  }
 }
 
 void RpcClient::ReceivePacket(Packet packet) {
@@ -120,11 +174,18 @@ void RpcClient::ReceivePacket(Packet packet) {
   }
   auto it = pending_.find(msg->request_id);
   if (it == pending_.end()) {
-    ++errors_;  // duplicate or stray
+    if (retired_.count(msg->request_id) != 0) {
+      // The original (or a duplicate) arriving after a retransmit already
+      // completed the request — expected under retransmission, not an error.
+      ++late_responses_;
+    } else {
+      ++errors_;  // stray: an id we never issued or long since forgot
+    }
     return;
   }
   Pending pending = std::move(it->second);
   pending_.erase(it);
+  RetireId(msg->request_id);
   if (pending.timer != kInvalidEventId) {
     sim_.Cancel(pending.timer);
   }

@@ -1,11 +1,20 @@
 // RPC client: sits at the far end of the wire, issues LRPC requests, matches
 // responses, and records round-trip times. Used by examples, tests, and the
 // workload generators.
+//
+// Reliability (LRPC-over-UDP): an unanswered request is retransmitted with
+// exponential backoff and jitter, metered by a global token-bucket retry
+// budget so a lossy burst cannot turn into a synchronized retransmit storm.
+// Completed (or expired) request ids are remembered in a bounded window so a
+// late original response — the copy that raced a successful retransmit — is
+// accounted as `late_responses`, not as a protocol error.
 #ifndef SRC_CORE_CLIENT_H_
 #define SRC_CORE_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/net/headers.h"
@@ -13,6 +22,7 @@
 #include "src/proto/cipher.h"
 #include "src/proto/rpc_message.h"
 #include "src/proto/service.h"
+#include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/stats/histogram.h"
 
@@ -30,6 +40,21 @@ class RpcClient : public PacketSink {
     // long (0 disables), up to max_retransmits times, then report kTimedOut.
     Duration retransmit_timeout = 0;
     int max_retransmits = 3;
+    // Each successive timeout multiplies the interval (capped below), and the
+    // armed deadline is jittered by +/- retransmit_jitter of itself so
+    // concurrent requests do not retransmit in lockstep.
+    double backoff_multiplier = 2.0;
+    Duration max_retransmit_timeout = 0;  // 0 = uncapped
+    double retransmit_jitter = 0.0;       // fraction in [0, 1)
+    // Global retry budget (token bucket, shared across requests): a
+    // retransmit consumes one token; with no token it is suppressed (the
+    // timer still backs off, so the request can still expire). 0 = unmetered.
+    double retry_budget_per_sec = 0.0;
+    double retry_budget_burst = 16.0;
+    // How many completed/expired request ids to remember for late-response
+    // accounting.
+    size_t retired_window = 4096;
+    uint64_t seed = 0x5eed;  // jitter stream
     // Transport encryption (§6): seal request payloads / open responses with
     // per-service keys derived from root_key.
     bool encrypt = false;
@@ -57,7 +82,9 @@ class RpcClient : public PacketSink {
   uint64_t completed() const { return completed_; }
   uint64_t errors() const { return errors_; }
   uint64_t retransmits() const { return retransmits_; }
+  uint64_t retransmits_suppressed() const { return retransmits_suppressed_; }
   uint64_t timeouts() const { return timeouts_; }
+  uint64_t late_responses() const { return late_responses_; }
   size_t outstanding() const { return pending_.size(); }
 
  private:
@@ -70,24 +97,36 @@ class RpcClient : public PacketSink {
     uint16_t method_id = 0;
     std::vector<uint8_t> payload;
     int attempts = 1;
+    Duration rto = 0;  // current (backed-off) retransmit interval
     EventId timer = kInvalidEventId;
   };
 
   void SendFrame(uint64_t request_id, const Pending& pending);
   void ArmTimer(uint64_t request_id);
   void OnTimeout(uint64_t request_id);
+  // Token-bucket draw; true when this retransmit may hit the wire.
+  bool SpendRetryToken();
+  // Remembers a finished id inside the bounded retired window.
+  void RetireId(uint64_t request_id);
 
   Simulator& sim_;
   LinkDirection& to_server_;
   Config config_;
+  Rng rng_;
   uint64_t next_request_id_ = 1;
   std::unordered_map<uint64_t, Pending> pending_;
+  std::unordered_set<uint64_t> retired_;
+  std::deque<uint64_t> retired_order_;
+  double retry_tokens_ = 0.0;
+  SimTime retry_refill_at_ = 0;
   Histogram rtt_;
   uint64_t sent_ = 0;
   uint64_t completed_ = 0;
   uint64_t errors_ = 0;
   uint64_t retransmits_ = 0;
+  uint64_t retransmits_suppressed_ = 0;
   uint64_t timeouts_ = 0;
+  uint64_t late_responses_ = 0;
 };
 
 // Status delivered to on_done when every retransmit attempt expires. The

@@ -51,6 +51,19 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
   wire_config.seed = config_.seed;
   wire_ = std::make_unique<Link>(*sim_, wire_config);
 
+  if (config_.faults.Any()) {
+    FaultPlan plan = config_.faults;
+    // Fold the machine seed in so per-trial seeds vary the fault streams
+    // while keeping each configuration fully deterministic.
+    plan.seed = plan.seed * 1000003ULL + config_.seed;
+    faults_ = std::make_unique<FaultInjector>(*sim_, plan);
+    wire_->a_to_b().set_fault_injector(faults_.get());
+    wire_->b_to_a().set_fault_injector(faults_.get());
+    interconnect_->set_fault_injector(faults_.get());
+    iommu_.set_fault_injector(faults_.get());
+    pcie_->set_fault_injector(faults_.get());
+  }
+
   switch (config_.stack) {
     case StackKind::kLinux:
     case StackKind::kBypass: {
@@ -59,6 +72,9 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
       nic_config.interrupts_enabled = config_.stack == StackKind::kLinux;
       nic_config.pipeline = platform.pipeline;
       dma_nic_ = std::make_unique<DmaNic>(*sim_, nic_config, *pcie_, *msix_);
+      if (faults_ != nullptr) {
+        dma_nic_->set_fault_injector(faults_.get());
+      }
       dma_nic_->set_tx_wire(&wire_->b_to_a());
       wire_->a_to_b().set_sink(dma_nic_.get());
 
@@ -73,6 +89,8 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
         LinuxRpcStack::Config linux_config = config_.linux_stack;
         linux_config.encrypt_rpcs = config_.encrypt_rpcs;
         linux_config.crypto_root_key = config_.crypto_root_key;
+        linux_config.dedup = config_.server_dedup;
+        linux_config.dedup_window = config_.server_dedup_window;
         linux_stack_ = std::make_unique<LinuxRpcStack>(*sim_, *kernel_, *dma_nic_,
                                                        *dma_driver_, *msix_, services_,
                                                        linux_config);
@@ -83,6 +101,8 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
         }
         bypass_config.encrypt_rpcs = config_.encrypt_rpcs;
         bypass_config.crypto_root_key = config_.crypto_root_key;
+        bypass_config.dedup = config_.server_dedup;
+        bypass_config.dedup_window = config_.server_dedup_window;
         bypass_ = std::make_unique<BypassRuntime>(*sim_, *kernel_, *dma_driver_, services_,
                                                   bypass_config);
       }
@@ -99,8 +119,13 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
       nic_config.crypto = config_.encrypt_rpcs;
       nic_config.crypto_root_key = config_.crypto_root_key;
       nic_config.own_ip = config_.server_ip;
+      nic_config.dedup = config_.server_dedup;
+      nic_config.dedup_window = config_.server_dedup_window;
       lauberhorn_nic_ = std::make_unique<LauberhornNic>(*sim_, *interconnect_, *pcie_,
                                                         services_, nic_config);
+      if (faults_ != nullptr) {
+        lauberhorn_nic_->set_fault_injector(faults_.get());
+      }
       lauberhorn_nic_->set_tx_wire(&wire_->b_to_a());
       wire_->a_to_b().set_sink(lauberhorn_nic_.get());
 
@@ -120,8 +145,13 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
   client_config.server_ip = config_.server_ip;
   client_config.retransmit_timeout = config_.client_retransmit_timeout;
   client_config.max_retransmits = config_.client_max_retransmits;
+  client_config.backoff_multiplier = config_.client_backoff_multiplier;
+  client_config.max_retransmit_timeout = config_.client_max_retransmit_timeout;
+  client_config.retransmit_jitter = config_.client_retransmit_jitter;
+  client_config.retry_budget_per_sec = config_.client_retry_budget_per_sec;
   client_config.encrypt = config_.encrypt_rpcs;
   client_config.root_key = config_.crypto_root_key;
+  client_config.seed = 0x5eed ^ config_.seed;
   client_ = std::make_unique<RpcClient>(*sim_, wire_->a_to_b(), client_config);
   wire_->b_to_a().set_sink(client_.get());
   HookLatencyTracking();

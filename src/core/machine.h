@@ -24,6 +24,7 @@
 #include "src/coherence/interconnect.h"
 #include "src/coherence/memory_home.h"
 #include "src/core/client.h"
+#include "src/fault/fault.h"
 #include "src/net/link.h"
 #include "src/nic/bypass.h"
 #include "src/nic/cost_model.h"
@@ -68,10 +69,22 @@ struct MachineConfig {
   bool encrypt_rpcs = false;
   uint64_t crypto_root_key = 0x4c61756265726e21ULL;
   // Client reliability: 0 disables retransmission (at-most-once sends).
-  // With a timeout set, requests are retried and the RPC layer provides
-  // at-least-once semantics (handlers may run twice on loss).
+  // With a timeout set, requests are retried with exponential backoff;
+  // server-side dedup (below) upgrades the combination to at-most-once
+  // execution with at-least-once delivery.
   Duration client_retransmit_timeout = 0;
   int client_max_retransmits = 3;
+  double client_backoff_multiplier = 2.0;
+  Duration client_max_retransmit_timeout = 0;  // 0 = uncapped
+  double client_retransmit_jitter = 0.0;
+  double client_retry_budget_per_sec = 0.0;  // 0 = unmetered
+  // Server-side at-most-once dedup (all stacks).
+  bool server_dedup = true;
+  size_t server_dedup_window = 1024;
+  // Cross-layer fault injection (src/fault). Inactive unless faults.Any();
+  // the injector is wired into the wire, interconnect, IOMMU, PCIe, and the
+  // active NIC, with per-layer forked random streams.
+  FaultPlan faults;
   uint64_t seed = 1;
 };
 
@@ -116,6 +129,8 @@ class Machine {
   PcieLink& pcie() { return *pcie_; }
   Iommu& iommu() { return iommu_; }
   MemoryHomeAgent& memory() { return *memory_; }
+  // Null unless config.faults.Any().
+  FaultInjector* fault_injector() { return faults_.get(); }
 
   // -- Measurement -----------------------------------------------------------
 
@@ -145,6 +160,7 @@ class Machine {
   std::unique_ptr<Kernel> kernel_;
   ServiceRegistry services_;
   std::unique_ptr<Link> wire_;  // a = client, b = server NIC
+  std::unique_ptr<FaultInjector> faults_;
 
   std::unique_ptr<DmaNic> dma_nic_;
   std::unique_ptr<DmaNicDriver> dma_driver_;

@@ -1,0 +1,185 @@
+#include "src/fault/fault.h"
+
+namespace lauberhorn {
+
+FaultPlan FaultPlan::Canonical(double intensity, uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (intensity <= 0.0) {
+    return plan;
+  }
+  auto prob = [intensity](double base) {
+    const double p = base * intensity;
+    return p < 1.0 ? p : 1.0;
+  };
+  // Bursty loss dominates: rare entry into a ~4-packet burst that loses half
+  // its packets, plus a trickle of independent loss.
+  plan.net.p_good_to_bad = prob(0.002);
+  plan.net.p_bad_to_good = 0.25;
+  plan.net.bad_loss = 0.5;
+  plan.net.good_loss = prob(0.0005);
+  plan.net.duplicate_probability = prob(0.003);
+  plan.net.reorder_probability = prob(0.01);
+  plan.net.reorder_extra_delay = Microseconds(3);
+  plan.net.corrupt_probability = prob(0.0005);
+  plan.coherence.fill_delay_probability = prob(0.002);
+  plan.coherence.fill_delay = Microseconds(2);
+  // Fill drops wedge a core permanently (the watchdog reports it, nothing
+  // un-wedges the load); the canonical plan keeps them off so goodput numbers
+  // measure recoverable faults. Tests exercise drops directly.
+  plan.coherence.fill_drop_probability = 0.0;
+  plan.pcie.iommu_fault_probability = prob(0.0005);
+  plan.pcie.iommu_fault_burst = 3;
+  plan.pcie.dma_error_probability = prob(0.0005);
+  plan.os.first_crash_at = Milliseconds(20);
+  plan.os.crash_period = Milliseconds(25);
+  plan.os.restart_delay = Microseconds(500);
+  plan.nic.wedge_probability = prob(0.001);
+  plan.nic.wedge_duration = Microseconds(300);
+  return plan;
+}
+
+FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
+    : sim_(sim),
+      plan_(plan),
+      net_rng_(plan.seed * 4 + 1),
+      coherence_rng_(plan.seed * 4 + 2),
+      pcie_rng_(plan.seed * 4 + 3),
+      nic_rng_(plan.seed * 4 + 4) {}
+
+bool FaultInjector::NetShouldDrop() {
+  // Advance the Gilbert–Elliott chain one packet, then draw loss from the
+  // current state.
+  if (net_bad_state_) {
+    if (plan_.net.p_bad_to_good > 0.0 && net_rng_.Bernoulli(plan_.net.p_bad_to_good)) {
+      net_bad_state_ = false;
+    }
+  } else if (plan_.net.p_good_to_bad > 0.0 &&
+             net_rng_.Bernoulli(plan_.net.p_good_to_bad)) {
+    net_bad_state_ = true;
+    ++stats_.net_burst_entries;
+  }
+  const double loss = net_bad_state_ ? plan_.net.bad_loss : plan_.net.good_loss;
+  if (loss > 0.0 && net_rng_.Bernoulli(loss)) {
+    ++stats_.net_drops;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::NetShouldDuplicate() {
+  if (plan_.net.duplicate_probability > 0.0 &&
+      net_rng_.Bernoulli(plan_.net.duplicate_probability)) {
+    ++stats_.net_duplicates;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::NetShouldCorrupt() {
+  if (plan_.net.corrupt_probability > 0.0 &&
+      net_rng_.Bernoulli(plan_.net.corrupt_probability)) {
+    ++stats_.net_corruptions;
+    return true;
+  }
+  return false;
+}
+
+Duration FaultInjector::NetReorderDelay() {
+  if (plan_.net.reorder_probability > 0.0 &&
+      net_rng_.Bernoulli(plan_.net.reorder_probability)) {
+    ++stats_.net_reorders;
+    return plan_.net.reorder_extra_delay;
+  }
+  return 0;
+}
+
+bool FaultInjector::CoherenceShouldDropFill() {
+  if (plan_.coherence.fill_drop_probability > 0.0 &&
+      coherence_rng_.Bernoulli(plan_.coherence.fill_drop_probability)) {
+    ++stats_.coherence_fill_drops;
+    return true;
+  }
+  return false;
+}
+
+Duration FaultInjector::CoherenceFillDelay() {
+  if (plan_.coherence.fill_delay_probability > 0.0 &&
+      coherence_rng_.Bernoulli(plan_.coherence.fill_delay_probability)) {
+    ++stats_.coherence_fill_delays;
+    return plan_.coherence.fill_delay;
+  }
+  return 0;
+}
+
+bool FaultInjector::IommuShouldFault() {
+  if (iommu_burst_left_ > 0) {
+    --iommu_burst_left_;
+    ++stats_.iommu_faults;
+    return true;
+  }
+  if (plan_.pcie.iommu_fault_probability > 0.0 &&
+      pcie_rng_.Bernoulli(plan_.pcie.iommu_fault_probability)) {
+    if (plan_.pcie.iommu_fault_burst > 1) {
+      iommu_burst_left_ = plan_.pcie.iommu_fault_burst - 1;
+    }
+    ++stats_.iommu_faults;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::DmaShouldFail() {
+  if (plan_.pcie.dma_error_probability > 0.0 &&
+      pcie_rng_.Bernoulli(plan_.pcie.dma_error_probability)) {
+    ++stats_.dma_errors;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::OsServiceUp() {
+  if (plan_.os.first_crash_at <= 0) {
+    return true;
+  }
+  const SimTime now = sim_.Now();
+  if (now < plan_.os.first_crash_at) {
+    return true;
+  }
+  // Which crash window (if any) does `now` fall into?
+  SimTime crash_at;
+  if (plan_.os.crash_period > 0) {
+    const int64_t index = (now - plan_.os.first_crash_at) / plan_.os.crash_period;
+    crash_at = plan_.os.first_crash_at + index * plan_.os.crash_period;
+  } else {
+    crash_at = plan_.os.first_crash_at;
+  }
+  const bool down = now < crash_at + plan_.os.restart_delay;
+  if (down && crash_at != last_counted_crash_) {
+    last_counted_crash_ = crash_at;
+    ++stats_.os_crashes;
+  }
+  return !down;
+}
+
+bool FaultInjector::NicEndpointWedged(uint32_t endpoint) {
+  const SimTime now = sim_.Now();
+  auto it = nic_wedged_until_.find(endpoint);
+  if (it != nic_wedged_until_.end() && now < it->second) {
+    return true;
+  }
+  if (plan_.nic.wedge_probability > 0.0 &&
+      nic_rng_.Bernoulli(plan_.nic.wedge_probability)) {
+    nic_wedged_until_[endpoint] = now + plan_.nic.wedge_duration;
+    ++stats_.nic_wedges;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::NicEndpointWedgedNow(uint32_t endpoint) const {
+  auto it = nic_wedged_until_.find(endpoint);
+  return it != nic_wedged_until_.end() && sim_.Now() < it->second;
+}
+
+}  // namespace lauberhorn

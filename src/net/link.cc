@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/fault/fault.h"
+
 namespace lauberhorn {
 
 LinkDirection::LinkDirection(Simulator& sim, const LinkConfig& config, uint64_t seed)
@@ -15,31 +17,63 @@ Duration LinkDirection::SerializationDelay(size_t bytes) const {
   return NanosecondsF(wire_bytes * 8.0 / config_.bandwidth_gbps);
 }
 
-void LinkDirection::Send(Packet packet) {
-  packet.enqueued_at = sim_.Now();
-  ++packets_sent_;
-  bytes_sent_ += packet.size();
-
-  if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
-    ++packets_dropped_;
-    return;
-  }
-  if (config_.corrupt_probability > 0.0 && !packet.bytes.empty() &&
-      rng_.Bernoulli(config_.corrupt_probability)) {
-    const size_t byte_index = rng_.UniformInt(0, packet.bytes.size() - 1);
-    const auto bit = static_cast<uint8_t>(1u << rng_.UniformInt(0, 7));
-    packet.bytes[byte_index] ^= bit;
-  }
-
+void LinkDirection::Transmit(Packet packet, Duration extra_delay) {
   const SimTime start = std::max(sim_.Now(), tx_free_at_);
   const SimTime done = start + SerializationDelay(packet.size());
   tx_free_at_ = done;
-  const SimTime arrival = done + config_.propagation;
+  const SimTime arrival = done + config_.propagation + extra_delay;
   sim_.ScheduleAt(arrival, [this, p = std::move(packet)]() mutable {
     if (sink_ != nullptr) {
       sink_->ReceivePacket(std::move(p));
     }
   });
+}
+
+void LinkDirection::Send(Packet packet) {
+  packet.enqueued_at = sim_.Now();
+  ++packets_sent_;
+  bytes_sent_ += packet.size();
+
+  bool drop = config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability);
+  if (faults_ != nullptr && faults_->NetShouldDrop()) {
+    drop = true;
+  }
+  if (drop) {
+    ++packets_dropped_;
+    return;
+  }
+  bool corrupt =
+      config_.corrupt_probability > 0.0 && rng_.Bernoulli(config_.corrupt_probability);
+  if (faults_ != nullptr && faults_->NetShouldCorrupt()) {
+    corrupt = true;
+  }
+  if (corrupt && !packet.bytes.empty()) {
+    const size_t byte_index = rng_.UniformInt(0, packet.bytes.size() - 1);
+    const auto bit = static_cast<uint8_t>(1u << rng_.UniformInt(0, 7));
+    packet.bytes[byte_index] ^= bit;
+    ++packets_corrupted_;
+  }
+  bool duplicate = config_.duplicate_probability > 0.0 &&
+                   rng_.Bernoulli(config_.duplicate_probability);
+  if (faults_ != nullptr && faults_->NetShouldDuplicate()) {
+    duplicate = true;
+  }
+  Duration extra = 0;
+  if (config_.reorder_probability > 0.0 && rng_.Bernoulli(config_.reorder_probability)) {
+    extra = config_.reorder_extra_delay;
+  }
+  if (faults_ != nullptr && extra == 0) {
+    extra = faults_->NetReorderDelay();
+  }
+  if (extra > 0) {
+    ++packets_reordered_;
+  }
+
+  if (duplicate) {
+    ++packets_duplicated_;
+    Transmit(packet, extra);  // copies; the duplicate serializes right behind
+  }
+  Transmit(std::move(packet), extra);
 }
 
 Link::Link(Simulator& sim, const LinkConfig& config)

@@ -1,5 +1,6 @@
 // Point-to-point full-duplex link model with serialization delay, propagation
-// delay, and optional fault injection (loss / bit corruption).
+// delay, and optional fault injection (loss / bit corruption / duplication /
+// reordering), plus hooks for the cross-layer FaultInjector (src/fault).
 #ifndef SRC_NET_LINK_H_
 #define SRC_NET_LINK_H_
 
@@ -13,6 +14,8 @@
 
 namespace lauberhorn {
 
+class FaultInjector;
+
 // Anything that can accept a packet off a wire: NIC models, traffic sources.
 class PacketSink {
  public:
@@ -25,35 +28,56 @@ struct LinkConfig {
   Duration propagation = Nanoseconds(500);  // one-way wire + switch latency
   double loss_probability = 0.0;            // silently drop
   double corrupt_probability = 0.0;         // flip one payload bit
+  double duplicate_probability = 0.0;       // transmit the packet twice
+  double reorder_probability = 0.0;         // delay past later packets
+  Duration reorder_extra_delay = Microseconds(3);  // how far a reordered
+                                                   // packet slips
   uint64_t seed = 1;                        // fault-injection stream
 };
 
 // One direction of a link. Packets serialize back to back: a packet starts
 // transmitting when the previous one has finished, then arrives after the
 // propagation delay. This models head-of-line blocking at the sender.
+//
+// A duplicated packet occupies the wire twice (back-to-back copies, as a
+// misbehaving switch would emit). A reordered packet keeps its serialization
+// slot but its delivery slips by reorder_extra_delay, letting later packets
+// overtake it in arrival order.
 class LinkDirection {
  public:
   LinkDirection(Simulator& sim, const LinkConfig& config, uint64_t seed);
 
   void set_sink(PacketSink* sink) { sink_ = sink; }
+  // Optional cross-layer injector consulted per packet in addition to the
+  // LinkConfig knobs (Gilbert–Elliott burst loss lives there).
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   // Hands a packet to the wire.
   void Send(Packet packet);
 
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t packets_corrupted() const { return packets_corrupted_; }
+  uint64_t packets_duplicated() const { return packets_duplicated_; }
+  uint64_t packets_reordered() const { return packets_reordered_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
   Duration SerializationDelay(size_t bytes) const;
+  // Serializes one copy and schedules delivery `extra_delay` past arrival.
+  void Transmit(Packet packet, Duration extra_delay);
 
   Simulator& sim_;
   LinkConfig config_;
   Rng rng_;
   PacketSink* sink_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   SimTime tx_free_at_ = 0;  // when the transmitter finishes the current packet
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;
+  uint64_t packets_corrupted_ = 0;
+  uint64_t packets_duplicated_ = 0;
+  uint64_t packets_reordered_ = 0;
   uint64_t bytes_sent_ = 0;
 };
 

@@ -11,7 +11,8 @@ BypassRuntime::BypassRuntime(Simulator& sim, Kernel& kernel, DmaNicDriver& drive
       kernel_(kernel),
       driver_(driver),
       services_(services),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      dedup_(config_.dedup_window) {
   assert(config_.cores.size() >= driver_.num_queues() &&
          "bypass needs one dedicated core per queue");
 }
@@ -101,28 +102,63 @@ void BypassRuntime::ProcessBatch(uint32_t q, Core& core, std::vector<Packet> pac
   response.service_id = request->service_id;
   response.method_id = request->method_id;
   response.request_id = request->request_id;
-  if (service == nullptr) {
-    response.status = RpcStatus::kNoSuchService;
-  } else if (method == nullptr) {
-    response.status = RpcStatus::kNoSuchMethod;
-  } else {
-    std::vector<WireValue> args;
-    if (!UnmarshalArgs(method->request_sig, request->payload, args)) {
-      response.status = RpcStatus::kBadArguments;
-      work += costs.SwMarshalCost(request->payload.size());
-    } else {
-      work += costs.SwMarshalCost(request->payload.size());  // software unmarshal
-      const std::vector<WireValue> result = method->handler(args);
-      work += method->service_time(args);
-      MarshalArgs(method->response_sig, result, response.payload);
-      work += costs.SwMarshalCost(response.payload.size());
+
+  // At-most-once admission, after decryption/decode validated the copy.
+  bool replay = false;
+  uint64_t flow = 0;
+  if (config_.dedup) {
+    flow = DedupFlowKey(frame->ip.src, frame->udp.src_port);
+    switch (dedup_.Admit(flow, request->request_id)) {
+      case RpcDedupCache::Verdict::kNew:
+        break;
+      case RpcDedupCache::Verdict::kInFlight:
+        ++dup_drops_in_flight_;
+        core.Run(work, CoreMode::kUser,
+                 [this, q, &core, packets = std::move(packets), index]() mutable {
+                   ProcessBatch(q, core, std::move(packets), index + 1);
+                 });
+        return;
+      case RpcDedupCache::Verdict::kCompleted: {
+        ++dup_replays_;
+        const RpcMessage* cached = dedup_.Lookup(flow, request->request_id);
+        if (cached != nullptr) {
+          response = *cached;  // already sealed; resend as-is
+        } else {
+          response.status = RpcStatus::kInternal;
+        }
+        replay = true;
+        break;
+      }
     }
   }
-  if (config_.encrypt_rpcs && !response.payload.empty() && service != nullptr) {
-    work += costs.SwCryptoCost(response.payload.size());
-    response.payload =
-        SealPayload(DeriveKey(config_.crypto_root_key, service->service_id),
-                    response.request_id ^ 0x5a5a, response.payload);
+
+  if (!replay) {
+    if (service == nullptr) {
+      response.status = RpcStatus::kNoSuchService;
+    } else if (method == nullptr) {
+      response.status = RpcStatus::kNoSuchMethod;
+    } else {
+      std::vector<WireValue> args;
+      if (!UnmarshalArgs(method->request_sig, request->payload, args)) {
+        response.status = RpcStatus::kBadArguments;
+        work += costs.SwMarshalCost(request->payload.size());
+      } else {
+        work += costs.SwMarshalCost(request->payload.size());  // software unmarshal
+        const std::vector<WireValue> result = method->handler(args);
+        work += method->service_time(args);
+        MarshalArgs(method->response_sig, result, response.payload);
+        work += costs.SwMarshalCost(response.payload.size());
+      }
+    }
+    if (config_.encrypt_rpcs && !response.payload.empty() && service != nullptr) {
+      work += costs.SwCryptoCost(response.payload.size());
+      response.payload =
+          SealPayload(DeriveKey(config_.crypto_root_key, service->service_id),
+                      response.request_id ^ 0x5a5a, response.payload);
+    }
+    if (config_.dedup) {
+      dedup_.Complete(flow, response.request_id, response);
+    }
   }
   work += config_.tx_per_packet;
 
@@ -140,9 +176,11 @@ void BypassRuntime::ProcessBatch(uint32_t q, Core& core, std::vector<Packet> pac
   const Packet out = BuildUdpFrame(eth, ip, udp, payload);
 
   core.Run(work, CoreMode::kUser,
-           [this, q, &core, out, packets = std::move(packets), index]() mutable {
+           [this, q, &core, out, replay, packets = std::move(packets), index]() mutable {
              driver_.Transmit(q, out.bytes);
-             ++rpcs_completed_;
+             if (!replay) {
+               ++rpcs_completed_;
+             }
              ProcessBatch(q, core, std::move(packets), index + 1);
            });
 }

@@ -12,6 +12,7 @@
 #include "src/nic/dma_nic.h"
 #include "src/os/kernel.h"
 #include "src/proto/cipher.h"
+#include "src/proto/dedup.h"
 #include "src/proto/rpc_message.h"
 #include "src/proto/service.h"
 
@@ -39,6 +40,11 @@ class BypassRuntime {
     // Software transport crypto.
     bool encrypt_rpcs = false;
     uint64_t crypto_root_key = 0;
+    // At-most-once execution (software analog of the Lauberhorn NIC's dedup
+    // stage): duplicates of in-flight requests are dropped, completed ones
+    // replay the cached response.
+    bool dedup = true;
+    size_t dedup_window = 1024;
   };
 
   BypassRuntime(Simulator& sim, Kernel& kernel, DmaNicDriver& driver,
@@ -51,6 +57,8 @@ class BypassRuntime {
   uint64_t rpcs_completed() const { return rpcs_completed_; }
   uint64_t bad_requests() const { return bad_requests_; }
   uint64_t empty_polls() const { return empty_polls_; }
+  uint64_t dup_drops_in_flight() const { return dup_drops_in_flight_; }
+  uint64_t dup_replays() const { return dup_replays_; }
 
  private:
   void Loop(uint32_t q, Core& core);
@@ -63,10 +71,13 @@ class BypassRuntime {
   ServiceRegistry& services_;
   Config config_;
   Process* process_ = nullptr;  // the bypass application owns its data plane
+  RpcDedupCache dedup_;
   bool running_ = false;
   uint64_t rpcs_completed_ = 0;
   uint64_t bad_requests_ = 0;
   uint64_t empty_polls_ = 0;
+  uint64_t dup_drops_in_flight_ = 0;
+  uint64_t dup_replays_ = 0;
 };
 
 }  // namespace lauberhorn

@@ -60,6 +60,12 @@ struct LauberhornParams {
   // active endpoint has this many requests queued, route to an inactive
   // endpoint instead, recruiting another core via the cold path.
   size_t spillover_queue_depth = 4;
+  // Graceful degradation: a TRYAGAIN that fires while requests are queued
+  // means the hot path is not delivering. After this many in a row the NIC
+  // demotes the endpoint to the cold (kernel-channel) path...
+  uint32_t degrade_tryagain_threshold = 16;
+  // ...for this long, after which the hot path gets another chance.
+  Duration degrade_backoff = Microseconds(200);
   // Ablation of Fig. 4's response path: instead of a cached store that the
   // NIC pulls back with fetch-exclusive, the CPU pushes the response with
   // posted uncached writes (write-combining PIO, as in Ruzhanskaia et al.).

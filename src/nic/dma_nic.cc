@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/fault/fault.h"
+
 namespace lauberhorn {
 
 DmaNic::DmaNic(Simulator& sim, Config config, PcieLink& pcie, Msix& msix)
@@ -41,6 +43,12 @@ void DmaNic::ReceivePacket(Packet packet) {
                                  3 * config_.pipeline.parse_per_header +
                                  config_.pipeline.rss_hash;
   sim_.Schedule(pipeline_cost, [this, packet = std::move(packet)]() mutable {
+    if (faults_ != nullptr && !faults_->OsServiceUp()) {
+      // OS crash window: nothing above the device will repost descriptors or
+      // drain rings; arriving traffic is lost until the stack restarts.
+      ++rx_drops_service_down_;
+      return;
+    }
     // A real NIC validates the frame before DMA (L2 CRC; checksum offload).
     if (!ParseUdpFrame(packet).has_value()) {
       ++rx_drops_bad_frame_;
@@ -83,10 +91,12 @@ void DmaNic::DeliverOne(uint32_t q, Packet packet) {
   const uint32_t index = queue.rx_head % queue.rx_size;
   const uint64_t desc_iova = queue.rx_base + index * kDescriptorSize;
 
-  // 1. Fetch the descriptor.
-  pcie_.DeviceDmaRead(desc_iova, kDescriptorSize, [this, q, desc_iova,
-                                                   packet = std::move(packet)](
-                                                      std::vector<uint8_t> raw) mutable {
+  // 1. Fetch the descriptor. Control-structure DMA is exempt from injected
+  // faults: losing a descriptor access is fatal on real hardware (device
+  // reset), not a recoverable per-packet error.
+  pcie_.DeviceDmaRead(
+      desc_iova, kDescriptorSize,
+      [this, q, desc_iova, packet = std::move(packet)](std::vector<uint8_t> raw) mutable {
     Queue& queue = queues_[q];
     if (raw.empty()) {
       ++rx_drops_no_desc_;  // IOMMU fault on the ring
@@ -108,16 +118,20 @@ void DmaNic::DeliverOne(uint32_t q, Packet packet) {
       Descriptor done = desc;
       done.length = static_cast<uint32_t>(len);
       done.flags = kDescDone;
-      pcie_.DeviceDmaWrite(desc_iova, done.Encode(), [this, q]() {
-        Queue& queue = queues_[q];
-        ++queue.rx_head;
-        ++rx_packets_;
-        queue.rx_busy = false;
-        MaybeInterrupt(q);
-        StartRxDelivery(q);
-      });
+      pcie_.DeviceDmaWrite(
+          desc_iova, done.Encode(),
+          [this, q]() {
+            Queue& queue = queues_[q];
+            ++queue.rx_head;
+            ++rx_packets_;
+            queue.rx_busy = false;
+            MaybeInterrupt(q);
+            StartRxDelivery(q);
+          },
+          /*fault_eligible=*/false);
     });
-  });
+  },
+      /*fault_eligible=*/false);
 }
 
 void DmaNic::MaybeInterrupt(uint32_t q) {
@@ -148,8 +162,9 @@ void DmaNic::StartTx(uint32_t q) {
   queue.tx_busy = true;
   const uint32_t index = queue.tx_head % queue.tx_size;
   const uint64_t desc_iova = queue.tx_base + index * kDescriptorSize;
-  pcie_.DeviceDmaRead(desc_iova, kDescriptorSize, [this, q, desc_iova](
-                                                      std::vector<uint8_t> raw) {
+  pcie_.DeviceDmaRead(
+      desc_iova, kDescriptorSize,
+      [this, q, desc_iova](std::vector<uint8_t> raw) {
     Queue& queue = queues_[q];
     if (raw.empty()) {
       queue.tx_busy = false;
@@ -175,15 +190,19 @@ void DmaNic::StartTx(uint32_t q) {
         ++tx_packets_;
         Descriptor done = desc;
         done.flags = kDescDone;
-        pcie_.DeviceDmaWrite(desc_iova, done.Encode(), [this, q]() {
-          Queue& queue = queues_[q];
-          ++queue.tx_head;
-          queue.tx_busy = false;
-          StartTx(q);  // drain any further posted descriptors
-        });
+        pcie_.DeviceDmaWrite(
+            desc_iova, done.Encode(),
+            [this, q]() {
+              Queue& queue = queues_[q];
+              ++queue.tx_head;
+              queue.tx_busy = false;
+              StartTx(q);  // drain any further posted descriptors
+            },
+            /*fault_eligible=*/false);
       });
     });
-  });
+  },
+      /*fault_eligible=*/false);
 }
 
 void DmaNic::OnMmioWrite(uint64_t offset, uint64_t value) {

@@ -46,6 +46,9 @@ class DmaNic : public PacketSink, public MmioDevice {
 
   void set_tx_wire(LinkDirection* wire) { tx_wire_ = wire; }
   void set_steer_by_dst_port(bool on) { config_.steer_by_dst_port = on; }
+  // Optional fault injection (src/fault): OS crash windows blackhole RX —
+  // nothing above the device consumes descriptors while the stack restarts.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   // PacketSink: a frame arrived from the wire.
   void ReceivePacket(Packet packet) override;
@@ -62,6 +65,7 @@ class DmaNic : public PacketSink, public MmioDevice {
   uint64_t rx_packets() const { return rx_packets_; }
   uint64_t rx_drops_no_desc() const { return rx_drops_no_desc_; }
   uint64_t rx_drops_bad_frame() const { return rx_drops_bad_frame_; }
+  uint64_t rx_drops_service_down() const { return rx_drops_service_down_; }
   uint64_t tx_packets() const { return tx_packets_; }
 
  private:
@@ -92,11 +96,13 @@ class DmaNic : public PacketSink, public MmioDevice {
   PcieLink& pcie_;
   Msix& msix_;
   LinkDirection* tx_wire_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   std::vector<Queue> queues_;
   bool interrupts_enabled_;
   uint64_t rx_packets_ = 0;
   uint64_t rx_drops_no_desc_ = 0;
   uint64_t rx_drops_bad_frame_ = 0;
+  uint64_t rx_drops_service_down_ = 0;
   uint64_t tx_packets_ = 0;
 };
 

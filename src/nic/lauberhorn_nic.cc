@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/fault/fault.h"
+
 namespace lauberhorn {
 
 LauberhornNic::LauberhornNic(Simulator& sim, CoherentInterconnect& interconnect,
@@ -13,7 +15,8 @@ LauberhornNic::LauberhornNic(Simulator& sim, CoherentInterconnect& interconnect,
       interconnect_(interconnect),
       pcie_(pcie),
       services_(services),
-      config_(config) {
+      config_(config),
+      dedup_(config.dedup_window) {
   const size_t first_continuation = config_.num_kernel_channels + config_.num_endpoints;
   const size_t total = first_continuation + config_.num_continuations;
   endpoints_.resize(total);
@@ -242,6 +245,13 @@ void LauberhornNic::ReceivePacket(Packet packet) {
                               3 * config_.pipeline.parse_per_header +
                               config_.pipeline.demux_lookup;
   sim_.Schedule(front_cost, [this, arrival, packet = std::move(packet)]() mutable {
+    if (faults_ != nullptr && !faults_->OsServiceUp()) {
+      // OS crash window: the NIC is alive but nothing above it is. Inbound
+      // traffic blackholes until the service stack restarts; the client's
+      // retransmit/backoff layer carries RPCs over the outage.
+      ++stats_.drops_service_down;
+      return;
+    }
     const auto frame = ParseUdpFrame(packet);
     if (!frame.has_value()) {
       ++stats_.drops_bad_frame;
@@ -323,6 +333,46 @@ void LauberhornNic::ReceivePacket(Packet packet) {
     if (!UnmarshalArgs(method->request_sig, plaintext, args_check)) {
       ++stats_.drops_bad_args;
       return;
+    }
+
+    // At-most-once admission, after every validation step that can drop the
+    // request (an entry only becomes in-flight once the request is certain
+    // to reach a handler or an explicit overload response).
+    if (config_.dedup) {
+      const uint64_t flow = DedupFlowKey(frame->ip.src, frame->udp.src_port);
+      switch (dedup_.Admit(flow, request->request_id)) {
+        case RpcDedupCache::Verdict::kNew:
+          break;
+        case RpcDedupCache::Verdict::kInFlight:
+          // The original is still executing; its response answers this copy.
+          ++stats_.dup_drops_in_flight;
+          return;
+        case RpcDedupCache::Verdict::kCompleted: {
+          ++stats_.dup_replays;
+          const RpcMessage* cached = dedup_.Lookup(flow, request->request_id);
+          PreparedRequest replay;
+          replay.endpoint = ep_id;
+          replay.service_id = request->service_id;
+          replay.method_id = request->method_id;
+          replay.request_id = request->request_id;
+          replay.eth = frame->eth;
+          replay.ip = frame->ip;
+          replay.udp = frame->udp;
+          replay.wire_arrival = 0;  // replays stay out of the latency histogram
+          RpcMessage response;
+          if (cached != nullptr) {
+            response = *cached;
+          } else {
+            response.kind = MessageKind::kResponse;
+            response.status = RpcStatus::kInternal;
+            response.service_id = request->service_id;
+            response.method_id = request->method_id;
+            response.request_id = request->request_id;
+          }
+          TransmitResponse(replay, std::move(response));
+          return;
+        }
+      }
     }
 
     PreparedRequest prepared;
@@ -414,7 +464,15 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
     }
     return;
   }
-  if (ep.waiting.has_value()) {
+  if (ep.degraded_until > sim_.Now()) {
+    // Demoted: the hot path was not making progress, so bypass it entirely
+    // and let the kernel channels carry this request.
+    ++stats_.degraded_dispatches;
+    RouteCold(std::move(request));
+    return;
+  }
+  const bool wedged = faults_ != nullptr && faults_->NicEndpointWedgedNow(ep.id);
+  if (ep.waiting.has_value() && !wedged) {
     ++stats_.hot_dispatches;
     trace_.Emit(sim_.Now(), TraceEvent::kDispatchHot, ep.id,
                 static_cast<uint32_t>(request.request_id));
@@ -422,7 +480,7 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
     return;
   }
   if (ep.active || ep.outstanding.has_value() || !ep.pending.empty() ||
-      ep.cold_dispatch_inflight) {
+      ep.cold_dispatch_inflight || ep.waiting.has_value()) {
     if (ep.pending.size() >= config_.params.endpoint_queue_depth) {
       ++stats_.drops_queue_full;
       RpcMessage overload;
@@ -526,6 +584,7 @@ DispatchLine LauberhornNic::BuildDispatch(const Endpoint& ep,
 
 void LauberhornNic::DeliverToWaiting(Endpoint& ep, PreparedRequest request) {
   assert(ep.waiting.has_value());
+  ep.tryagain_streak = 0;  // the hot path is making progress
   WaitingLoad waiting = std::move(*ep.waiting);
   ep.waiting.reset();
   if (waiting.tryagain_event != kInvalidEventId) {
@@ -605,12 +664,39 @@ void LauberhornNic::ArmTryagain(Endpoint& ep) {
       return;  // already answered
     }
     endpoint.waiting->tryagain_event = kInvalidEventId;
+    if (!endpoint.is_kernel) {
+      if (!endpoint.pending.empty()) {
+        // TRYAGAIN with work queued: the hot path is not delivering (the
+        // wedge signature). Consecutive occurrences demote the endpoint.
+        ++endpoint.tryagain_streak;
+        if (endpoint.tryagain_streak >= config_.params.degrade_tryagain_threshold) {
+          DegradeEndpoint(endpoint);
+        }
+      } else {
+        endpoint.tryagain_streak = 0;  // idle endpoint, not a wedge
+      }
+    }
     FillWaiting(endpoint, LineKind::kTryAgain);
     if (endpoint.is_kernel) {
       // The dispatcher kthread will yield back to the scheduler.
       endpoint.active = false;
     }
   });
+}
+
+void LauberhornNic::DegradeEndpoint(Endpoint& ep) {
+  ep.degraded_until = sim_.Now() + config_.params.degrade_backoff;
+  trace_.Emit(sim_.Now(), TraceEvent::kDegrade, ep.id, ep.tryagain_streak);
+  ep.tryagain_streak = 0;
+  ++stats_.degradations;
+  // Drain the backlog through the kernel path so requests stop waiting on a
+  // hot path that is not progressing. New arrivals follow via the
+  // degraded_until check in DispatchPrepared until the backoff expires.
+  std::deque<PreparedRequest> backlog = std::move(ep.pending);
+  ep.pending.clear();
+  for (PreparedRequest& request : backlog) {
+    RouteCold(std::move(request));
+  }
 }
 
 // -- Coherence-side (home agent) --------------------------------------------------
@@ -661,6 +747,12 @@ void LauberhornNic::HandleCtrlPoll(Endpoint& ep, int parity, AgentId requester,
       DeliverToKernelChannel(ep, std::move(request));
       return;
     }
+  } else if (faults_ != nullptr && faults_->NicEndpointWedged(ep.id)) {
+    // Wedge fault: the fill engine for this endpoint's CONTROL lines is
+    // stuck. Work stays queued (DispatchPrepared sees the wedge too) and the
+    // parked core times out with TRYAGAIN; enough of those in a row trips
+    // the degradation detector.
+    ++stats_.wedged_polls;
   } else if (!ep.pending.empty()) {
     PreparedRequest request = std::move(ep.pending.front());
     ep.pending.pop_front();
@@ -758,6 +850,18 @@ void LauberhornNic::CollectResponse(Endpoint& ep, OutstandingRequest outstanding
 }
 
 void LauberhornNic::TransmitResponse(const PreparedRequest& meta, RpcMessage response) {
+  if (config_.dedup && !endpoints_[meta.endpoint].is_continuation &&
+      response.kind == MessageKind::kResponse) {
+    const uint64_t flow = DedupFlowKey(meta.ip.src, meta.udp.src_port);
+    if (response.status == RpcStatus::kOverloaded) {
+      // Shed, not executed: forget the entry so a retransmit runs fresh.
+      dedup_.Abort(flow, response.request_id);
+    } else {
+      // Cache pre-seal so replays re-seal with a fresh pass through this
+      // function. Idempotent for replayed responses.
+      dedup_.Complete(flow, response.request_id, response);
+    }
+  }
   Duration crypto_cost = 0;
   if (config_.crypto && !response.payload.empty()) {
     const uint32_t service_id = endpoints_[meta.endpoint].is_continuation

@@ -38,6 +38,7 @@
 #include "src/os/kernel.h"
 #include "src/pcie/pcie_link.h"
 #include "src/proto/cipher.h"
+#include "src/proto/dedup.h"
 #include "src/proto/rpc_message.h"
 #include "src/proto/service.h"
 #include "src/sim/simulator.h"
@@ -79,6 +80,12 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     NicPipelineCosts pipeline;
     LauberhornParams params;
     LargeTransferPolicy large_policy = LargeTransferPolicy::kAuto;
+    // At-most-once execution: remember (flow, request id) per request so a
+    // client retransmit never runs the handler twice — duplicates of an
+    // in-flight request are dropped (the original's response answers them),
+    // and duplicates of a completed request replay the cached response.
+    bool dedup = true;
+    size_t dedup_window = 1024;  // completed entries remembered
   };
 
   struct Stats {
@@ -97,6 +104,13 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     uint64_t dma_fallback_tx = 0;
     uint64_t dispatcher_wakeups = 0;
     uint64_t crypto_failures = 0;
+    // Reliability layer.
+    uint64_t dup_drops_in_flight = 0;  // duplicate of an executing request
+    uint64_t dup_replays = 0;          // duplicate answered from the cache
+    uint64_t degradations = 0;         // endpoint demoted to the cold path
+    uint64_t degraded_dispatches = 0;  // requests routed cold while demoted
+    uint64_t wedged_polls = 0;         // deliveries withheld by a wedge fault
+    uint64_t drops_service_down = 0;   // RX while the OS/service is crashed
   };
 
   LauberhornNic(Simulator& sim, CoherentInterconnect& interconnect, PcieLink& pcie,
@@ -105,6 +119,9 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   const Config& config() const { return config_; }
 
   void set_tx_wire(LinkDirection* wire) { tx_wire_ = wire; }
+  // Optional fault injection (src/fault): wedged endpoint CONTROL lines and
+  // OS crash windows (RX blackhole while the service stack is down).
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   // -- Address layout ------------------------------------------------------
 
@@ -243,6 +260,12 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     std::optional<WaitingLoad> waiting;
     std::optional<OutstandingRequest> outstanding;
     std::deque<PreparedRequest> pending;
+    // Graceful degradation (§5.1 fallout): consecutive TRYAGAINs fired while
+    // work was pending mean the hot path is not making progress (a wedged
+    // CONTROL line); past the threshold the endpoint is demoted to the cold
+    // kernel channel for a backoff window instead of stalling the core.
+    uint32_t tryagain_streak = 0;
+    SimTime degraded_until = 0;
     // Load statistics (§5.2): EWMA of arrival rate.
     Ewma arrival_rate{0.2};
     SimTime last_arrival = 0;
@@ -269,6 +292,9 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   void ArmTryagain(Endpoint& ep);
   void CollectResponse(Endpoint& ep, OutstandingRequest outstanding);
   void TransmitResponse(const PreparedRequest& meta, RpcMessage response);
+  // Demotes a non-progressing endpoint to the cold path for a backoff window
+  // and drains its NIC-side backlog through the kernel channels.
+  void DegradeEndpoint(Endpoint& ep);
   void DispatchPrepared(PreparedRequest request);
   void RouteCold(PreparedRequest request);
   // Demux: choose which of a service's endpoints receives this request.
@@ -288,6 +314,8 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   Config config_;
   AgentId home_id_ = kNoAgent;
   LinkDirection* tx_wire_ = nullptr;
+  FaultInjector* faults_ = nullptr;
+  RpcDedupCache dedup_;
 
   std::vector<Endpoint> endpoints_;  // [0, num_kernel_channels) are kernel
   // A service may have several endpoints (one per core it can occupy); the

@@ -14,7 +14,8 @@ LinuxRpcStack::LinuxRpcStack(Simulator& sim, Kernel& kernel, DmaNic& nic,
       driver_(driver),
       msix_(msix),
       services_(services),
-      config_(config) {}
+      config_(config),
+      dedup_(config.dedup_window) {}
 
 void LinuxRpcStack::RegisterServiceProcess(const ServiceDef& service) {
   auto state = std::make_unique<ServiceState>();
@@ -158,39 +159,71 @@ void LinuxRpcStack::WorkerStep(ServiceState& state, Core& core) {
       }
       plain.payload = std::move(*opened);
     }
-    const MethodDef* method = state.def->FindMethod(plain.method_id);
     RpcMessage response;
     response.kind = MessageKind::kResponse;
     response.service_id = plain.service_id;
     response.method_id = plain.method_id;
     response.request_id = plain.request_id;
-
     Duration user_cost = crypto_cost;
-    if (method == nullptr) {
-      response.status = RpcStatus::kNoSuchMethod;
-    } else {
-      std::vector<WireValue> args;
-      if (!UnmarshalArgs(method->request_sig, plain.payload, args)) {
-        response.status = RpcStatus::kBadArguments;
-        user_cost += costs.SwMarshalCost(plain.payload.size());
-      } else {
-        // Software unmarshal + handler + software marshal.
-        user_cost += costs.SwMarshalCost(plain.payload.size());
-        const std::vector<WireValue> result = method->handler(args);
-        user_cost += method->service_time(args);
-        MarshalArgs(method->response_sig, result, response.payload);
-        user_cost += costs.SwMarshalCost(response.payload.size());
+
+    // At-most-once admission, after decryption validated the request (a
+    // corrupted copy must not park an in-flight entry forever).
+    bool replay = false;
+    uint64_t flow = 0;
+    if (config_.dedup) {
+      flow = DedupFlowKey(req_ip.src, req_udp.src_port);
+      switch (dedup_.Admit(flow, plain.request_id)) {
+        case RpcDedupCache::Verdict::kNew:
+          break;
+        case RpcDedupCache::Verdict::kInFlight:
+          ++dup_drops_in_flight_;
+          kernel_.scheduler().OnWorkDone(core);
+          return;
+        case RpcDedupCache::Verdict::kCompleted: {
+          ++dup_replays_;
+          const RpcMessage* cached = dedup_.Lookup(flow, plain.request_id);
+          if (cached != nullptr) {
+            response = *cached;  // already sealed; resend as-is
+          } else {
+            response.status = RpcStatus::kInternal;
+          }
+          replay = true;
+          break;
+        }
       }
     }
-    if (config_.encrypt_rpcs && !response.payload.empty()) {
-      user_cost += costs.SwCryptoCost(response.payload.size());
-      response.payload =
-          SealPayload(DeriveKey(config_.crypto_root_key, state.def->service_id),
-                      response.request_id ^ 0x5a5a, response.payload);
+
+    if (!replay) {
+      const MethodDef* method = state.def->FindMethod(plain.method_id);
+      if (method == nullptr) {
+        response.status = RpcStatus::kNoSuchMethod;
+      } else {
+        std::vector<WireValue> args;
+        if (!UnmarshalArgs(method->request_sig, plain.payload, args)) {
+          response.status = RpcStatus::kBadArguments;
+          user_cost += costs.SwMarshalCost(plain.payload.size());
+        } else {
+          // Software unmarshal + handler + software marshal.
+          user_cost += costs.SwMarshalCost(plain.payload.size());
+          const std::vector<WireValue> result = method->handler(args);
+          user_cost += method->service_time(args);
+          MarshalArgs(method->response_sig, result, response.payload);
+          user_cost += costs.SwMarshalCost(response.payload.size());
+        }
+      }
+      if (config_.encrypt_rpcs && !response.payload.empty()) {
+        user_cost += costs.SwCryptoCost(response.payload.size());
+        response.payload =
+            SealPayload(DeriveKey(config_.crypto_root_key, state.def->service_id),
+                        response.request_id ^ 0x5a5a, response.payload);
+      }
+      if (config_.dedup) {
+        dedup_.Complete(flow, response.request_id, response);
+      }
     }
 
-    core.Run(user_cost, CoreMode::kUser, [this, &state, &core, response, req_eth, req_ip,
-                                          req_udp]() {
+    core.Run(user_cost, CoreMode::kUser, [this, &state, &core, response, replay, req_eth,
+                                          req_ip, req_udp]() {
       // Step 3: sendmsg syscall + copyin + driver TX.
       std::vector<uint8_t> payload;
       EncodeRpcMessage(response, payload);
@@ -208,11 +241,13 @@ void LinuxRpcStack::WorkerStep(ServiceState& state, Core& core) {
       const Duration send_cost = costs2.syscall + costs2.socket_syscall_path +
                                  costs2.CopyCost(payload.size()) +
                                  costs2.driver_tx_per_packet;
-      core.Run(send_cost, CoreMode::kKernel, [this, &state, &core, out]() {
+      core.Run(send_cost, CoreMode::kKernel, [this, &state, &core, out, replay]() {
         const uint32_t txq =
             static_cast<uint32_t>(core.index()) % driver_.num_queues();
         driver_.Transmit(txq, out.bytes);
-        ++rpcs_completed_;
+        if (!replay) {
+          ++rpcs_completed_;
+        }
         // More messages? Re-arm this worker before yielding.
         Thread* self = core.current_thread();
         if (state.socket->HasData() && self != nullptr && !self->HasWork()) {

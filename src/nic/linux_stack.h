@@ -19,6 +19,7 @@
 #include "src/nic/dma_nic.h"
 #include "src/os/kernel.h"
 #include "src/proto/cipher.h"
+#include "src/proto/dedup.h"
 #include "src/proto/rpc_message.h"
 #include "src/proto/service.h"
 
@@ -32,6 +33,11 @@ class LinuxRpcStack {
     // Software transport crypto (no NIC offload on the Fig. 1 device).
     bool encrypt_rpcs = false;
     uint64_t crypto_root_key = 0;
+    // At-most-once execution: drop/replay duplicate (flow, request id) pairs
+    // instead of running the handler twice (software analog of the
+    // Lauberhorn NIC's dedup stage, so the comparison is apples-to-apples).
+    bool dedup = true;
+    size_t dedup_window = 1024;
   };
 
   LinuxRpcStack(Simulator& sim, Kernel& kernel, DmaNic& nic, DmaNicDriver& driver,
@@ -45,6 +51,8 @@ class LinuxRpcStack {
 
   uint64_t rpcs_completed() const { return rpcs_completed_; }
   uint64_t bad_requests() const { return bad_requests_; }
+  uint64_t dup_drops_in_flight() const { return dup_drops_in_flight_; }
+  uint64_t dup_replays() const { return dup_replays_; }
 
  private:
   struct ServiceState {
@@ -68,8 +76,11 @@ class LinuxRpcStack {
   Config config_;
   std::vector<Thread*> softirq_threads_;  // one per queue
   std::unordered_map<uint16_t, std::unique_ptr<ServiceState>> by_port_;
+  RpcDedupCache dedup_;
   uint64_t rpcs_completed_ = 0;
   uint64_t bad_requests_ = 0;
+  uint64_t dup_drops_in_flight_ = 0;
+  uint64_t dup_replays_ = 0;
 };
 
 }  // namespace lauberhorn

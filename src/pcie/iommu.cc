@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/fault/fault.h"
+
 namespace lauberhorn {
 
 Iommu::Iommu() : Iommu(Config{}) {}
@@ -20,12 +22,20 @@ void Iommu::Unmap(uint64_t iova, uint64_t size) {
   }
 }
 
-std::optional<Iommu::Translation> Iommu::Translate(uint64_t iova, uint64_t size) {
+std::optional<Iommu::Translation> Iommu::Translate(uint64_t iova, uint64_t size,
+                                                   bool inject_faults) {
   const uint64_t page = iova & ~(kPageSize - 1);
   assert(((iova + size - 1) & ~(kPageSize - 1)) == page && "access crosses a page");
+  if (inject_faults && faults_ != nullptr && faults_->IommuShouldFault()) {
+    ++faults_count_;
+    if (fault_handler_) {
+      fault_handler_(iova);
+    }
+    return std::nullopt;
+  }
   const auto it = page_table_.find(page);
   if (it == page_table_.end()) {
-    ++faults_;
+    ++faults_count_;
     if (fault_handler_) {
       fault_handler_(iova);
     }

@@ -16,6 +16,8 @@
 
 namespace lauberhorn {
 
+class FaultInjector;
+
 class Iommu {
  public:
   static constexpr uint64_t kPageSize = 4096;
@@ -39,10 +41,14 @@ class Iommu {
   };
 
   // Translates one access that must not cross a page boundary. Returns
-  // nullopt and records a fault if unmapped.
-  std::optional<Translation> Translate(uint64_t iova, uint64_t size);
+  // nullopt and records a fault if unmapped. `inject_faults` false exempts the
+  // access from *injected* transient faults (genuine unmapped accesses still
+  // fault) — used for control-structure DMA, where a real device failing
+  // translation is a fatal error outside this model's recoverable-fault scope.
+  std::optional<Translation> Translate(uint64_t iova, uint64_t size,
+                                       bool inject_faults = true);
 
-  uint64_t faults() const { return faults_; }
+  uint64_t faults() const { return faults_count_; }
   uint64_t iotlb_hits() const { return iotlb_hits_; }
   uint64_t iotlb_misses() const { return iotlb_misses_; }
 
@@ -51,14 +57,20 @@ class Iommu {
     fault_handler_ = std::move(handler);
   }
 
+  // Optional fault injection (src/fault): transient translation faults, in
+  // bursts, on otherwise-mapped pages. Each one goes through the same
+  // accounting and fault_handler_ path as a genuine unmapped access.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   Config config_;
   std::unordered_map<uint64_t, uint64_t> page_table_;  // iova page -> pa page
   std::unordered_set<uint64_t> iotlb_;                 // cached iova pages (random-ish evict)
-  uint64_t faults_ = 0;
+  uint64_t faults_count_ = 0;
   uint64_t iotlb_hits_ = 0;
   uint64_t iotlb_misses_ = 0;
   Function<void(uint64_t)> fault_handler_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace lauberhorn

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/fault/fault.h"
+
 namespace lauberhorn {
 
 PcieLink::PcieLink(Simulator& sim, PcieConfig config, MemoryHomeAgent& host_memory,
@@ -19,13 +21,14 @@ Duration PcieLink::ClaimBandwidth(size_t bytes) {
   return (start - sim_.Now()) + wire;
 }
 
-bool PcieLink::TranslateRange(uint64_t iova, size_t size, std::vector<Chunk>& chunks) {
+bool PcieLink::TranslateRange(uint64_t iova, size_t size, std::vector<Chunk>& chunks,
+                              bool fault_eligible) {
   size_t done = 0;
   while (done < size) {
     const uint64_t addr = iova + done;
     const uint64_t page_end = (addr & ~(Iommu::kPageSize - 1)) + Iommu::kPageSize;
     const size_t chunk_size = std::min<size_t>(size - done, page_end - addr);
-    const auto t = iommu_.Translate(addr, chunk_size);
+    const auto t = iommu_.Translate(addr, chunk_size, fault_eligible);
     if (!t.has_value()) {
       return false;
     }
@@ -56,9 +59,16 @@ void PcieLink::HostMmioRead(uint64_t offset, Function<void(uint64_t)> on_done) {
 }
 
 void PcieLink::DeviceDmaRead(uint64_t iova, size_t size,
-                             Function<void(std::vector<uint8_t>)> on_done) {
+                             Function<void(std::vector<uint8_t>)> on_done,
+                             bool fault_eligible) {
   std::vector<Chunk> chunks;
-  if (!TranslateRange(iova, size, chunks)) {
+  if (fault_eligible && faults_ != nullptr && faults_->DmaShouldFail()) {
+    ++dma_errors_;
+    sim_.Schedule(config_.dma_read_latency,
+                  [on_done = std::move(on_done)]() { on_done({}); });
+    return;
+  }
+  if (!TranslateRange(iova, size, chunks, fault_eligible)) {
     sim_.Schedule(config_.dma_read_latency,
                   [on_done = std::move(on_done)]() { on_done({}); });
     return;
@@ -82,10 +92,26 @@ void PcieLink::DeviceDmaRead(uint64_t iova, size_t size,
 }
 
 void PcieLink::DeviceDmaWrite(uint64_t iova, std::vector<uint8_t> data,
-                              Callback on_done) {
+                              Callback on_done, bool fault_eligible) {
   std::vector<Chunk> chunks;
-  if (!TranslateRange(iova, data.size(), chunks)) {
-    return;  // faulted; fault handler already notified via the IOMMU
+  if (fault_eligible && faults_ != nullptr && faults_->DmaShouldFail()) {
+    // The write TLP is acknowledged but its payload is lost; completion still
+    // fires so descriptor/fill chains that wait on it make progress.
+    ++dma_errors_;
+    if (on_done) {
+      sim_.Schedule(config_.dma_write_latency, std::move(on_done));
+    }
+    return;
+  }
+  if (!TranslateRange(iova, data.size(), chunks, fault_eligible)) {
+    // Faulted; the fault handler was already notified via the IOMMU. The
+    // payload is lost but the posted write still "completes" from the
+    // device's perspective, so descriptor/fill chains keep making progress
+    // (matters under transient injected IOMMU faults).
+    if (on_done) {
+      sim_.Schedule(config_.dma_write_latency, std::move(on_done));
+    }
+    return;
   }
   Duration translate_cost = 0;
   for (const Chunk& c : chunks) {

@@ -17,6 +17,8 @@
 
 namespace lauberhorn {
 
+class FaultInjector;
+
 struct PcieConfig {
   Duration mmio_read = Nanoseconds(800);        // non-posted, full round trip
   Duration mmio_write = Nanoseconds(150);       // posted doorbell
@@ -40,6 +42,10 @@ class PcieLink {
 
   const PcieConfig& config() const { return config_; }
   void set_device(MmioDevice* device) { device_ = device; }
+  // Optional fault injection (src/fault): DMA completion errors. An errored
+  // read completes with no data; an errored write completes (the TLP was
+  // acknowledged) but its payload never reaches host memory.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   // -- Host-initiated ----------------------------------------------------
 
@@ -53,14 +59,18 @@ class PcieLink {
   // -- Device-initiated (DMA through the IOMMU) ---------------------------
 
   // Reads `size` bytes at `iova` from host memory. On an IOMMU fault the
-  // callback receives an empty vector.
+  // callback receives an empty vector. `fault_eligible` false exempts the
+  // transfer from *injected* faults (completion errors and transient IOMMU
+  // faults) — NICs use it for descriptor-ring accesses, which a real device
+  // cannot survive losing (it would enter a fatal error state and be reset).
   void DeviceDmaRead(uint64_t iova, size_t size,
-                     Function<void(std::vector<uint8_t>)> on_done);
+                     Function<void(std::vector<uint8_t>)> on_done,
+                     bool fault_eligible = true);
 
   // Posted write of `data` to host memory at `iova`. `on_done` (optional)
   // runs once the write is globally visible.
   void DeviceDmaWrite(uint64_t iova, std::vector<uint8_t> data,
-                      Callback on_done = nullptr);
+                      Callback on_done = nullptr, bool fault_eligible = true);
 
   // -- Stats ---------------------------------------------------------------
 
@@ -68,6 +78,7 @@ class PcieLink {
   uint64_t mmio_writes() const { return mmio_writes_; }
   uint64_t dma_read_bytes() const { return dma_read_bytes_; }
   uint64_t dma_write_bytes() const { return dma_write_bytes_; }
+  uint64_t dma_errors() const { return dma_errors_; }
 
  private:
   // Serializes a transfer on the shared link; returns its completion time
@@ -80,18 +91,21 @@ class PcieLink {
     size_t size = 0;
     Duration cost = 0;
   };
-  bool TranslateRange(uint64_t iova, size_t size, std::vector<Chunk>& chunks);
+  bool TranslateRange(uint64_t iova, size_t size, std::vector<Chunk>& chunks,
+                      bool fault_eligible);
 
   Simulator& sim_;
   PcieConfig config_;
   MemoryHomeAgent& host_memory_;
   Iommu& iommu_;
   MmioDevice* device_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   SimTime link_free_at_ = 0;
   uint64_t mmio_reads_ = 0;
   uint64_t mmio_writes_ = 0;
   uint64_t dma_read_bytes_ = 0;
   uint64_t dma_write_bytes_ = 0;
+  uint64_t dma_errors_ = 0;
 };
 
 // MSI-X interrupt delivery: vectors fan out to registered handlers after the

@@ -1,0 +1,55 @@
+#include "src/proto/dedup.h"
+
+namespace lauberhorn {
+
+RpcDedupCache::Verdict RpcDedupCache::Admit(uint64_t flow, uint64_t request_id) {
+  const Key key{flow, request_id};
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (inserted) {
+    ++stats_.admitted;
+    return Verdict::kNew;
+  }
+  if (it->second.completed) {
+    ++stats_.duplicates_replayed;
+    return Verdict::kCompleted;
+  }
+  ++stats_.duplicates_in_flight;
+  return Verdict::kInFlight;
+}
+
+void RpcDedupCache::Complete(uint64_t flow, uint64_t request_id,
+                             const RpcMessage& response) {
+  const Key key{flow, request_id};
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.completed) {
+    return;
+  }
+  it->second.completed = true;
+  it->second.response = response;
+  completed_order_.push_back(key);
+  while (completed_order_.size() > completed_window_) {
+    auto victim = entries_.find(completed_order_.front());
+    completed_order_.pop_front();
+    if (victim != entries_.end() && victim->second.completed) {
+      entries_.erase(victim);
+      ++stats_.evictions;
+    }
+  }
+}
+
+void RpcDedupCache::Abort(uint64_t flow, uint64_t request_id) {
+  auto it = entries_.find(Key{flow, request_id});
+  if (it != entries_.end() && !it->second.completed) {
+    entries_.erase(it);
+  }
+}
+
+const RpcMessage* RpcDedupCache::Lookup(uint64_t flow, uint64_t request_id) const {
+  auto it = entries_.find(Key{flow, request_id});
+  if (it == entries_.end() || !it->second.completed) {
+    return nullptr;
+  }
+  return &it->second.response;
+}
+
+}  // namespace lauberhorn

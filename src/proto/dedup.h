@@ -1,0 +1,97 @@
+// At-most-once request deduplication for the server-side RPC paths.
+//
+// The client retransmit layer means a server can legitimately see the same
+// (flow, request id) twice: once for the original, once per retransmit. This
+// cache is the server's half of at-most-once semantics — a request is
+// admitted for execution exactly once; while it executes, duplicates are
+// dropped (the eventual response answers every copy); after it completes, the
+// cached response is replayed without re-running the handler.
+//
+// Keying is per flow (client ip + source port) plus request id, so distinct
+// clients reusing id spaces never collide. The completed window is bounded:
+// oldest completed entries are evicted FIFO. In-flight entries are never
+// evicted — they are dropped only via Complete() or Abort() — so an admitted
+// request cannot lose its dedup slot while the handler runs.
+#ifndef SRC_PROTO_DEDUP_H_
+#define SRC_PROTO_DEDUP_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "src/proto/rpc_message.h"
+
+namespace lauberhorn {
+
+// The flow half of the dedup key.
+constexpr uint64_t DedupFlowKey(uint32_t src_ip, uint16_t src_port) {
+  return (static_cast<uint64_t>(src_ip) << 16) | src_port;
+}
+
+class RpcDedupCache {
+ public:
+  enum class Verdict {
+    kNew,        // first sighting: execute it
+    kInFlight,   // already executing: drop this copy
+    kCompleted,  // already executed: replay the cached response
+  };
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t duplicates_in_flight = 0;
+    uint64_t duplicates_replayed = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit RpcDedupCache(size_t completed_window = 1024)
+      : completed_window_(completed_window) {}
+
+  // Classifies an incoming request and, for kNew, records it as in flight.
+  Verdict Admit(uint64_t flow, uint64_t request_id);
+
+  // Marks an in-flight request completed and caches its response for replay.
+  // Idempotent: completing an already-completed entry keeps the first
+  // response (a replay must not re-cache).
+  void Complete(uint64_t flow, uint64_t request_id, const RpcMessage& response);
+
+  // Forgets an in-flight request without caching anything — used when the
+  // server sheds the request instead of executing it (e.g. queue overload),
+  // so a retransmit gets a fresh chance to run.
+  void Abort(uint64_t flow, uint64_t request_id);
+
+  // The cached response for a kCompleted verdict.
+  const RpcMessage* Lookup(uint64_t flow, uint64_t request_id) const;
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Key {
+    uint64_t flow = 0;
+    uint64_t request_id = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // splitmix-style finalizer over the xor of the halves.
+      uint64_t x = key.flow ^ (key.request_id * 0x9e3779b97f4a7c15ULL);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<size_t>(x);
+    }
+  };
+  struct Entry {
+    bool completed = false;
+    RpcMessage response;  // valid when completed
+  };
+
+  size_t completed_window_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::deque<Key> completed_order_;
+  Stats stats_;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_PROTO_DEDUP_H_

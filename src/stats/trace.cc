@@ -26,6 +26,8 @@ std::string ToString(TraceEvent event) {
       return "loop-exit";
     case TraceEvent::kDrop:
       return "drop";
+    case TraceEvent::kDegrade:
+      return "degrade";
   }
   return "?";
 }

@@ -27,6 +27,7 @@ enum class TraceEvent : uint16_t {
   kLoopEnter,       // a=endpoint, b=core
   kLoopExit,        // a=endpoint, b=core
   kDrop,            // a=endpoint, b=reason
+  kDegrade,         // a=endpoint, b=tryagain streak at demotion
 };
 
 std::string ToString(TraceEvent event);

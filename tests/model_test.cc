@@ -7,6 +7,7 @@
 #include "src/model/checker.h"
 #include "src/model/cold_path_spec.h"
 #include "src/model/lauberhorn_spec.h"
+#include "src/model/retrans_spec.h"
 
 namespace lauberhorn {
 namespace {
@@ -250,6 +251,84 @@ TEST_F(ColdPathSpecTest, SingleRequestScopeAlsoPasses) {
   config.num_requests = 1;
   const auto result = Run(config);
   EXPECT_TRUE(result.ok) << result.violation;
+}
+
+// --- Loss + retransmit + at-most-once dedup (the reliability layer) ----------
+
+class RetransSpecTest : public ::testing::Test {
+ protected:
+  RetransChecker::Result Run(RetransSpecConfig config) {
+    RetransChecker checker;
+    RetransChecker::Options options;
+    options.max_states = 1u << 20;
+    options.is_terminal_ok = RetransTerminalOk;
+    options.goal = RetransGoal;
+    return checker.Check(RetransInitialState(config), RetransSuccessors(config),
+                         RetransInvariants(), options);
+  }
+};
+
+TEST_F(RetransSpecTest, DedupProtocolPassesAllChecks) {
+  RetransSpecConfig config;
+  const auto result = Run(config);
+  EXPECT_TRUE(result.ok) << result.violation << " after "
+                         << ::testing::PrintToString(result.trace);
+  EXPECT_GT(result.states_explored, 50u);
+}
+
+TEST_F(RetransSpecTest, LargerBudgetsStillPass) {
+  RetransSpecConfig config;
+  config.max_attempts = 4;
+  config.dup_budget = 3;
+  const auto result = Run(config);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST_F(RetransSpecTest, EvictingCompletedEntriesBreaksAtMostOnce) {
+  // Mutation: the dedup window forgets a completed request while retransmits
+  // are still possible — a late duplicate re-executes the handler.
+  RetransSpecConfig config;
+  config.bug_forget_completed = true;
+  const auto result = Run(config);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("AtMostOnce"), std::string::npos)
+      << result.violation;
+  EXPECT_FALSE(result.trace.empty());
+}
+
+TEST_F(RetransSpecTest, ExecutingInFlightDuplicatesIsCaught) {
+  // Mutation: no in-flight tracking — a duplicate arriving mid-execution is
+  // admitted and runs the handler a second time.
+  RetransSpecConfig config;
+  config.bug_execute_inflight_dup = true;
+  const auto result = Run(config);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("AtMostOnce"), std::string::npos)
+      << result.violation;
+}
+
+TEST_F(RetransSpecTest, CounterexampleTraceReplaysToViolation) {
+  RetransSpecConfig config;
+  config.bug_forget_completed = true;
+  const auto result = Run(config);
+  ASSERT_FALSE(result.ok);
+  auto successors = RetransSuccessors(config);
+  RetransState state = RetransInitialState(config);
+  std::vector<RetransChecker::Transition> next;
+  for (const std::string& label : result.trace) {
+    next.clear();
+    successors(state, next);
+    bool found = false;
+    for (const auto& t : next) {
+      if (t.label == label) {
+        state = t.next;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "trace action not enabled: " << label;
+  }
+  EXPECT_GT(state.executions, 1u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "src/coherence/interconnect.h"
 #include "src/coherence/memory_home.h"
+#include "src/fault/fault.h"
 #include "src/pcie/iommu.h"
 #include "src/pcie/pcie_link.h"
 #include "src/pcie/ring.h"
@@ -182,6 +183,57 @@ TEST_F(PcieTest, MsixUnknownVectorIgnored) {
   msix.Trigger(7);  // no handler
   sim_.RunUntilIdle();
   EXPECT_EQ(msix.interrupts_delivered(), 1u);
+}
+
+TEST_F(PcieTest, InjectedTransientIommuFaultsFireTheFaultHandler) {
+  // Satellite: a transient fault on a *mapped* page goes through the exact
+  // accounting + fault_handler path a genuine unmapped access takes.
+  FaultPlan plan;
+  plan.pcie.iommu_fault_probability = 1.0;
+  plan.pcie.iommu_fault_burst = 1;
+  FaultInjector faults(sim_, plan);
+  iommu_.set_fault_injector(&faults);
+
+  std::vector<uint64_t> faulted;
+  iommu_.set_fault_handler([&](uint64_t iova) { faulted.push_back(iova); });
+
+  EXPECT_FALSE(iommu_.Translate(0x3000, 4).has_value());
+  ASSERT_EQ(faulted.size(), 1u);
+  EXPECT_EQ(faulted[0], 0x3000u);
+  EXPECT_EQ(iommu_.faults(), 1u);
+  EXPECT_EQ(faults.stats().iommu_faults, 1u);
+
+  // Detach the injector: the same mapped page translates cleanly again.
+  iommu_.set_fault_injector(nullptr);
+  EXPECT_TRUE(iommu_.Translate(0x3000, 4).has_value());
+  EXPECT_EQ(iommu_.faults(), 1u);
+}
+
+TEST_F(PcieTest, InjectedDmaErrorsCompleteWithNoData) {
+  FaultPlan plan;
+  plan.pcie.dma_error_probability = 1.0;
+  FaultInjector faults(sim_, plan);
+  link_.set_fault_injector(&faults);
+
+  memory_.WriteBytes(0x7000, {9, 9, 9, 9});
+  bool read_done = false;
+  std::vector<uint8_t> got = {1};
+  link_.DeviceDmaRead(0x7000, 4, [&](std::vector<uint8_t> d) {
+    read_done = true;
+    got = std::move(d);
+  });
+  bool write_done = false;
+  link_.DeviceDmaWrite(0x8000, {5, 5, 5}, [&] { write_done = true; });
+  sim_.RunUntilIdle();
+
+  // Completion still fires (descriptor chains must keep moving); the payload
+  // is what's lost.
+  EXPECT_TRUE(read_done);
+  EXPECT_TRUE(got.empty());
+  EXPECT_TRUE(write_done);
+  EXPECT_EQ(memory_.ReadBytes(0x8000, 3), (std::vector<uint8_t>{0, 0, 0}));
+  EXPECT_EQ(link_.dma_errors(), 2u);
+  EXPECT_EQ(faults.stats().dma_errors, 2u);
 }
 
 }  // namespace
