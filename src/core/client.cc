@@ -94,14 +94,18 @@ void RpcClient::ArmTimer(uint64_t request_id) {
       sim_.Schedule(delay, [this, request_id]() { OnTimeout(request_id); });
 }
 
-bool RpcClient::SpendRetryToken() {
-  if (config_.retry_budget_per_sec <= 0.0) {
-    return true;
-  }
+void RpcClient::RefillRetryTokens() {
   const SimTime now = sim_.Now();
   retry_tokens_ += ToSeconds(now - retry_refill_at_) * config_.retry_budget_per_sec;
   retry_tokens_ = std::min(retry_tokens_, config_.retry_budget_burst);
   retry_refill_at_ = now;
+}
+
+bool RpcClient::SpendRetryToken() {
+  if (config_.retry_budget_per_sec <= 0.0) {
+    return true;
+  }
+  RefillRetryTokens();
   if (retry_tokens_ < 1.0) {
     return false;
   }
@@ -138,7 +142,12 @@ void RpcClient::OnTimeout(uint64_t request_id) {
     pending.rto = std::min(pending.rto, config_.max_retransmit_timeout);
   }
   pending.rto = std::max<Duration>(pending.rto, 1);
-  if (SpendRetryToken()) {
+  if (sim_.Now() < breaker_until_) {
+    // Circuit breaker open: the server said "overloaded" explicitly, so
+    // retry copies are withheld outright (the backoff above still runs).
+    ++retransmits_suppressed_;
+    ++retransmits_suppressed_breaker_;
+  } else if (SpendRetryToken()) {
     ++retransmits_;
     SendFrame(request_id, pending);
   } else {
@@ -190,10 +199,29 @@ void RpcClient::ReceivePacket(Packet packet) {
     sim_.Cancel(pending.timer);
   }
   const Duration rtt = sim_.Now() - pending.sent_at;
-  rtt_.Record(rtt);
   ++completed_;
-  if (msg->status != RpcStatus::kOk) {
-    ++errors_;
+  if (msg->status == RpcStatus::kOverloaded) {
+    // Explicit server push-back: its own bucket (not errors, not timeouts),
+    // excluded from the admitted-RTT histogram, and a multiplicative cut of
+    // the retry budget — congestion response to a congestion signal.
+    ++overloaded_;
+    if (config_.retry_budget_per_sec > 0.0) {
+      RefillRetryTokens();
+      retry_tokens_ *= config_.overload_token_cut;
+    }
+    if (config_.overload_breaker_threshold > 0 &&
+        ++overload_streak_ >=
+            static_cast<uint32_t>(config_.overload_breaker_threshold)) {
+      overload_streak_ = 0;
+      breaker_until_ = sim_.Now() + config_.overload_breaker_window;
+      ++breaker_openings_;
+    }
+  } else {
+    overload_streak_ = 0;
+    rtt_.Record(rtt);
+    if (msg->status != RpcStatus::kOk) {
+      ++errors_;
+    }
   }
   RpcMessage opened = *msg;
   if (config_.encrypt && !opened.payload.empty()) {

@@ -59,6 +59,15 @@ class RpcClient : public PacketSink {
     // per-service keys derived from root_key.
     bool encrypt = false;
     uint64_t root_key = 0;
+    // Overload reaction, distinct from the loss-driven backoff above: a
+    // kOverloaded reply is explicit server push-back, so each one
+    // multiplicatively cuts the retry-token balance, and
+    // `overload_breaker_threshold` consecutive ones open a circuit breaker
+    // that suppresses retransmits for `overload_breaker_window` (new calls
+    // still go out; only retry copies are withheld). 0 disables the breaker.
+    double overload_token_cut = 0.5;
+    int overload_breaker_threshold = 0;
+    Duration overload_breaker_window = Microseconds(500);
   };
 
   using ResponseFn = Function<void(const RpcMessage&, Duration rtt)>;
@@ -77,6 +86,8 @@ class RpcClient : public PacketSink {
 
   void ReceivePacket(Packet packet) override;
 
+  // RTT histogram of *admitted* requests (kOverloaded replies are excluded —
+  // a shed is not a served RPC).
   const Histogram& rtt() const { return rtt_; }
   uint64_t sent() const { return sent_; }
   uint64_t completed() const { return completed_; }
@@ -86,6 +97,15 @@ class RpcClient : public PacketSink {
   uint64_t timeouts() const { return timeouts_; }
   uint64_t late_responses() const { return late_responses_; }
   size_t outstanding() const { return pending_.size(); }
+  // Overload accounting: kOverloaded replies get their own bucket (they are
+  // neither errors nor timeouts), plus breaker state for tests/benches.
+  uint64_t overloaded() const { return overloaded_; }
+  uint64_t breaker_openings() const { return breaker_openings_; }
+  uint64_t retransmits_suppressed_breaker() const {
+    return retransmits_suppressed_breaker_;
+  }
+  bool breaker_open() const { return sim_.Now() < breaker_until_; }
+  double retry_tokens() const { return retry_tokens_; }
 
  private:
   struct Pending {
@@ -106,6 +126,8 @@ class RpcClient : public PacketSink {
   void OnTimeout(uint64_t request_id);
   // Token-bucket draw; true when this retransmit may hit the wire.
   bool SpendRetryToken();
+  // Brings the retry-token balance up to date (refill-on-demand).
+  void RefillRetryTokens();
   // Remembers a finished id inside the bounded retired window.
   void RetireId(uint64_t request_id);
 
@@ -127,6 +149,11 @@ class RpcClient : public PacketSink {
   uint64_t retransmits_suppressed_ = 0;
   uint64_t timeouts_ = 0;
   uint64_t late_responses_ = 0;
+  uint64_t overloaded_ = 0;
+  uint64_t breaker_openings_ = 0;
+  uint64_t retransmits_suppressed_breaker_ = 0;
+  uint32_t overload_streak_ = 0;
+  SimTime breaker_until_ = 0;
 };
 
 // Status delivered to on_done when every retransmit attempt expires. The

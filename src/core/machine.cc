@@ -71,6 +71,9 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
       nic_config.num_queues = config_.nic_queues;
       nic_config.interrupts_enabled = config_.stack == StackKind::kLinux;
       nic_config.pipeline = platform.pipeline;
+      if (config_.nic_rx_fifo_depth > 0) {
+        nic_config.rx_fifo_depth = config_.nic_rx_fifo_depth;
+      }
       dma_nic_ = std::make_unique<DmaNic>(*sim_, nic_config, *pcie_, *msix_);
       if (faults_ != nullptr) {
         dma_nic_->set_fault_injector(faults_.get());
@@ -80,6 +83,9 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
 
       DmaNicDriver::Config driver_config;
       driver_config.num_queues = config_.nic_queues;
+      if (config_.nic_ring_entries > 0) {
+        driver_config.ring_entries = config_.nic_ring_entries;
+      }
       driver_config.mem_base = kDriverMemBase;
       // Jumbo-capable RX/TX buffers (the benches sweep payloads past 9000 B).
       driver_config.buffer_size = 64 * 1024;
@@ -87,6 +93,7 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
                                                    *memory_);
       if (config_.stack == StackKind::kLinux) {
         LinuxRpcStack::Config linux_config = config_.linux_stack;
+        linux_config.admission = config_.admission;
         linux_config.encrypt_rpcs = config_.encrypt_rpcs;
         linux_config.crypto_root_key = config_.crypto_root_key;
         linux_config.dedup = config_.server_dedup;
@@ -99,6 +106,7 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
         for (uint32_t q = 0; q < config_.nic_queues; ++q) {
           bypass_config.cores.push_back(static_cast<int>(q));
         }
+        bypass_config.admission = config_.admission;
         bypass_config.encrypt_rpcs = config_.encrypt_rpcs;
         bypass_config.crypto_root_key = config_.crypto_root_key;
         bypass_config.dedup = config_.server_dedup;
@@ -115,6 +123,7 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
       nic_config.num_kernel_channels = static_cast<size_t>(config_.num_cores);
       nic_config.pipeline = platform.pipeline;
       nic_config.params = config_.lauberhorn_params.value_or(platform.lauberhorn);
+      nic_config.admission = config_.admission;
       nic_config.large_policy = config_.large_policy;
       nic_config.crypto = config_.encrypt_rpcs;
       nic_config.crypto_root_key = config_.crypto_root_key;
@@ -149,6 +158,9 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
   client_config.max_retransmit_timeout = config_.client_max_retransmit_timeout;
   client_config.retransmit_jitter = config_.client_retransmit_jitter;
   client_config.retry_budget_per_sec = config_.client_retry_budget_per_sec;
+  client_config.overload_token_cut = config_.client_overload_token_cut;
+  client_config.overload_breaker_threshold = config_.client_overload_breaker_threshold;
+  client_config.overload_breaker_window = config_.client_overload_breaker_window;
   client_config.encrypt = config_.encrypt_rpcs;
   client_config.root_key = config_.crypto_root_key;
   client_config.seed = 0x5eed ^ config_.seed;

@@ -33,6 +33,7 @@
 #include "src/nic/lauberhorn_runtime.h"
 #include "src/nic/linux_stack.h"
 #include "src/os/kernel.h"
+#include "src/overload/overload.h"
 #include "src/pcie/iommu.h"
 #include "src/pcie/pcie_link.h"
 #include "src/proto/service.h"
@@ -58,6 +59,12 @@ struct MachineConfig {
   uint32_t client_ip = MakeIpv4(10, 0, 0, 1);
   // DMA-NIC stacks: queue count; bypass dedicates cores[0..queues).
   uint32_t nic_queues = 2;
+  // RX/TX descriptor ring entries and device RX FIFO depth for the DMA NIC
+  // stacks (0 = defaults). Small values drop early at the device instead of
+  // building hundreds of microseconds of residency that no host-side
+  // overload signal can see.
+  uint32_t nic_ring_entries = 0;
+  size_t nic_rx_fifo_depth = 0;
   // Lauberhorn sizing.
   size_t lauberhorn_endpoints = 64;
   LargeTransferPolicy large_policy = LargeTransferPolicy::kAuto;
@@ -78,6 +85,14 @@ struct MachineConfig {
   Duration client_max_retransmit_timeout = 0;  // 0 = uncapped
   double client_retransmit_jitter = 0.0;
   double client_retry_budget_per_sec = 0.0;  // 0 = unmetered
+  // Server-side overload admission (src/overload), applied at the active
+  // stack's shed point: the Lauberhorn RX pipeline, the Linux softirq
+  // socket-backlog boundary, or the bypass poll loop. Disabled by default.
+  AdmissionConfig admission;
+  // Client reaction to kOverloaded push-back (distinct from loss backoff).
+  double client_overload_token_cut = 0.5;
+  int client_overload_breaker_threshold = 0;  // 0 = breaker disabled
+  Duration client_overload_breaker_window = Microseconds(500);
   // Server-side at-most-once dedup (all stacks).
   bool server_dedup = true;
   size_t server_dedup_window = 1024;

@@ -20,6 +20,7 @@ BypassRuntime::BypassRuntime(Simulator& sim, Kernel& kernel, DmaNicDriver& drive
 void BypassRuntime::Start() {
   running_ = true;
   empty_streak_.assign(driver_.num_queues(), 0);
+  sojourn_.assign(driver_.num_queues(), SojournGate{});
   process_ = kernel_.CreateProcess("bypass-app");
   for (uint32_t q = 0; q < driver_.num_queues(); ++q) {
     Core& core = kernel_.core(static_cast<size_t>(config_.cores[q]));
@@ -77,6 +78,53 @@ void BypassRuntime::ProcessBatch(uint32_t q, Core& core, std::vector<Packet> pac
   RpcMessage response;
   response.kind = MessageKind::kResponse;
   Duration work = config_.per_packet;
+
+  if (config_.admission.enabled && request.has_value() &&
+      request->kind == MessageKind::kRequest && service != nullptr) {
+    const ShedReason reason =
+        AdmissionCheck(q, service->service_id, packets.size() - index);
+    if (reason != ShedReason::kNone) {
+      switch (reason) {
+        case ShedReason::kQueueFull:
+          ++sheds_queue_;
+          break;
+        case ShedReason::kQuota:
+          ++sheds_quota_;
+          break;
+        case ShedReason::kSojourn:
+          ++sheds_sojourn_;
+          break;
+        case ShedReason::kNone:
+          break;
+      }
+      response.status = RpcStatus::kOverloaded;
+      response.service_id = request->service_id;
+      response.method_id = request->method_id;
+      response.request_id = request->request_id;
+      EthernetHeader eth;
+      eth.dst = frame->eth.src;
+      eth.src = frame->eth.dst;
+      Ipv4Header ip;
+      ip.src = frame->ip.dst;
+      ip.dst = frame->ip.src;
+      UdpHeader udp;
+      udp.src_port = frame->udp.dst_port;
+      udp.dst_port = frame->udp.src_port;
+      std::vector<uint8_t> payload;
+      EncodeRpcMessage(response, payload);
+      const Packet out = BuildUdpFrame(eth, ip, udp, payload);
+      // Saying "no" skips crypto, dedup, and the handler, but still burns
+      // user CPU on the polling core for the decode + reply TX.
+      work += config_.tx_per_packet;
+      shed_cpu_time_ += work;
+      core.Run(work, CoreMode::kUser,
+               [this, q, &core, out, packets = std::move(packets), index]() mutable {
+                 driver_.Transmit(q, out.bytes);
+                 ProcessBatch(q, core, std::move(packets), index + 1);
+               });
+      return;
+    }
+  }
   if (request.has_value() && service != nullptr && config_.encrypt_rpcs) {
     work += costs.SwCryptoCost(request->payload.size());
     auto opened = OpenPayload(DeriveKey(config_.crypto_root_key, service->service_id),
@@ -183,6 +231,38 @@ void BypassRuntime::ProcessBatch(uint32_t q, Core& core, std::vector<Packet> pac
              }
              ProcessBatch(q, core, std::move(packets), index + 1);
            });
+}
+
+ShedReason BypassRuntime::AdmissionCheck(uint32_t q, uint32_t service_id,
+                                         size_t batch_remaining) {
+  const SimTime now = sim_.Now();
+  // Ring occupancy: completed-but-unharvested descriptors plus the tail of
+  // the current batch still waiting for this core.
+  const size_t occupancy = driver_.RxOccupancy(q) + batch_remaining;
+  if (config_.admission.queue_depth_limit > 0 &&
+      occupancy >= config_.admission.queue_depth_limit) {
+    return ShedReason::kQueueFull;
+  }
+  if (config_.admission.quota_rps > 0) {
+    TokenBucket& bucket =
+        service_quota_
+            .try_emplace(service_id, config_.admission.quota_rps,
+                         config_.admission.quota_burst)
+            .first->second;
+    if (!bucket.TryTake(now)) {
+      return ShedReason::kQuota;
+    }
+  }
+  // No timestamps in the ring: estimate the head's sojourn as occupancy
+  // times the per-request driver cost floor (an underestimate once handlers
+  // run, so this gate is conservative — the depth bound backstops it).
+  const Duration estimated =
+      static_cast<Duration>(occupancy) *
+      (config_.per_packet + config_.tx_per_packet);
+  if (sojourn_[q].ShouldShed(now, estimated, config_.admission.sojourn)) {
+    return ShedReason::kSojourn;
+  }
+  return ShedReason::kNone;
 }
 
 }  // namespace lauberhorn

@@ -6,11 +6,13 @@
 #define SRC_NIC_BYPASS_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/net/headers.h"
 #include "src/nic/dma_nic.h"
 #include "src/os/kernel.h"
+#include "src/overload/overload.h"
 #include "src/proto/cipher.h"
 #include "src/proto/dedup.h"
 #include "src/proto/rpc_message.h"
@@ -45,6 +47,11 @@ class BypassRuntime {
     // replay the cached response.
     bool dedup = true;
     size_t dedup_window = 1024;
+    // Overload admission in the poll loop. Rings carry no timestamps, so the
+    // sojourn check runs on *estimated* delay: ring occupancy times the
+    // per-request processing estimate. Sheds cost user CPU on the polling
+    // core (cheaper than a full handler pass, but not free like Lauberhorn).
+    AdmissionConfig admission;
   };
 
   BypassRuntime(Simulator& sim, Kernel& kernel, DmaNicDriver& driver,
@@ -59,11 +66,22 @@ class BypassRuntime {
   uint64_t empty_polls() const { return empty_polls_; }
   uint64_t dup_drops_in_flight() const { return dup_drops_in_flight_; }
   uint64_t dup_replays() const { return dup_replays_; }
+  // Overload sheds by reason and the user CPU charged for shedding.
+  uint64_t sheds_queue() const { return sheds_queue_; }
+  uint64_t sheds_quota() const { return sheds_quota_; }
+  uint64_t sheds_sojourn() const { return sheds_sojourn_; }
+  uint64_t sheds_total() const {
+    return sheds_queue_ + sheds_quota_ + sheds_sojourn_;
+  }
+  Duration shed_cpu_time() const { return shed_cpu_time_; }
 
  private:
   void Loop(uint32_t q, Core& core);
   std::vector<uint64_t> empty_streak_;
   void ProcessBatch(uint32_t q, Core& core, std::vector<Packet> packets, size_t index);
+  // Admission decision for one decoded request on queue `q`;
+  // `batch_remaining` counts the packets already polled but not yet served.
+  ShedReason AdmissionCheck(uint32_t q, uint32_t service_id, size_t batch_remaining);
 
   Simulator& sim_;
   Kernel& kernel_;
@@ -78,6 +96,12 @@ class BypassRuntime {
   uint64_t empty_polls_ = 0;
   uint64_t dup_drops_in_flight_ = 0;
   uint64_t dup_replays_ = 0;
+  uint64_t sheds_queue_ = 0;
+  uint64_t sheds_quota_ = 0;
+  uint64_t sheds_sojourn_ = 0;
+  Duration shed_cpu_time_ = 0;
+  std::unordered_map<uint32_t, TokenBucket> service_quota_;
+  std::vector<SojournGate> sojourn_;  // per queue
 };
 
 }  // namespace lauberhorn

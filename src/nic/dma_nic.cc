@@ -56,7 +56,7 @@ void DmaNic::ReceivePacket(Packet packet) {
     }
     const uint32_t q = RssQueue(packet);
     Queue& queue = queues_[q];
-    if (queue.rx_backlog.size() > 4096) {
+    if (queue.rx_backlog.size() >= config_.rx_fifo_depth) {
       ++rx_drops_no_desc_;  // device FIFO overflow
       return;
     }
@@ -314,6 +314,22 @@ bool DmaNicDriver::RxPending(uint32_t q) {
   RingView ring(memory_, queue.rx_ring_base, config_.ring_entries);
   const Descriptor desc = ring.Read(queue.rx_next);
   return (desc.flags & kDescDone) != 0;
+}
+
+size_t DmaNicDriver::RxOccupancy(uint32_t q) {
+  QueueState& queue = queues_[q];
+  RingView ring(memory_, queue.rx_ring_base, config_.ring_entries);
+  size_t count = 0;
+  uint32_t index = queue.rx_next;
+  while (count < config_.ring_entries) {
+    const Descriptor desc = ring.Read(index);
+    if ((desc.flags & kDescDone) == 0) {
+      break;
+    }
+    ++count;
+    index = (index + 1) % config_.ring_entries;
+  }
+  return count;
 }
 
 std::vector<Packet> DmaNicDriver::Poll(uint32_t q, size_t budget) {

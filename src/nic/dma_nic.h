@@ -40,6 +40,11 @@ class DmaNic : public PacketSink, public MmioDevice {
     // static assignment whose rigidity §2 criticizes.
     bool steer_by_dst_port = false;
     NicPipelineCosts pipeline;
+    // Device-side RX FIFO (packets buffered ahead of descriptor DMA). Past
+    // this the device tail-drops silently — the commodity NIC's only way to
+    // say "no". Small values drop early instead of hiding milliseconds of
+    // delay from the host's overload signals.
+    size_t rx_fifo_depth = 4096;
   };
 
   DmaNic(Simulator& sim, Config config, PcieLink& pcie, Msix& msix);
@@ -61,6 +66,10 @@ class DmaNic : public PacketSink, public MmioDevice {
   // arrives from / departs to the wire (before any queueing).
   Function<void(const Packet&)> on_wire_rx;
   Function<void(const Packet&)> on_wire_tx;
+
+  // Depth of the device-side FIFO for queue `q` (parsed packets awaiting
+  // descriptors/DMA) — the congestion signal in front of the ring.
+  size_t RxBacklog(uint32_t q) const { return queues_[q].rx_backlog.size(); }
 
   uint64_t rx_packets() const { return rx_packets_; }
   uint64_t rx_drops_no_desc() const { return rx_drops_no_desc_; }
@@ -130,6 +139,11 @@ class DmaNicDriver {
 
   // True if a completed descriptor is waiting (cheap peek for spin loops).
   bool RxPending(uint32_t q);
+
+  // Number of completed-but-unharvested RX descriptors: the ring occupancy a
+  // bypass runtime uses as its overload signal (rings carry no timestamps, so
+  // occupancy is the only queue-delay proxy available in user space).
+  size_t RxOccupancy(uint32_t q);
 
   // Copies `bytes` into a TX buffer, writes the descriptor, rings the doorbell.
   // Returns false if the TX ring is full.

@@ -1,5 +1,6 @@
 #include "src/nic/lauberhorn_nic.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <memory>
@@ -468,6 +469,13 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
     // Demoted: the hot path was not making progress, so bypass it entirely
     // and let the kernel channels carry this request.
     ++stats_.degraded_dispatches;
+    if (config_.admission.enabled) {
+      const ShedReason reason = AdmissionCheck(ep, /*cold=*/true);
+      if (reason != ShedReason::kNone) {
+        Shed(ep, request, reason);
+        return;
+      }
+    }
     RouteCold(std::move(request));
     return;
   }
@@ -481,16 +489,20 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
   }
   if (ep.active || ep.outstanding.has_value() || !ep.pending.empty() ||
       ep.cold_dispatch_inflight || ep.waiting.has_value()) {
-    if (ep.pending.size() >= config_.params.endpoint_queue_depth) {
-      ++stats_.drops_queue_full;
-      RpcMessage overload;
-      overload.kind = MessageKind::kResponse;
-      overload.status = RpcStatus::kOverloaded;
-      overload.service_id = request.service_id;
-      overload.method_id = request.method_id;
-      overload.request_id = request.request_id;
-      TransmitResponse(request, std::move(overload));
+    size_t depth_limit = config_.params.endpoint_queue_depth;
+    if (config_.admission.enabled && config_.admission.queue_depth_limit > 0) {
+      depth_limit = std::min(depth_limit, config_.admission.queue_depth_limit);
+    }
+    if (ep.pending.size() >= depth_limit) {
+      Shed(ep, request, ShedReason::kQueueFull);
       return;
+    }
+    if (config_.admission.enabled) {
+      const ShedReason reason = AdmissionCheck(ep, /*cold=*/false);
+      if (reason != ShedReason::kNone) {
+        Shed(ep, request, reason);
+        return;
+      }
     }
     ++stats_.queued_dispatches;
     trace_.Emit(sim_.Now(), TraceEvent::kDispatchQueued, ep.id,
@@ -498,22 +510,108 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
     ep.pending.push_back(std::move(request));
     return;
   }
+  if (config_.admission.enabled) {
+    const ShedReason reason = AdmissionCheck(ep, /*cold=*/true);
+    if (reason != ShedReason::kNone) {
+      Shed(ep, request, reason);
+      return;
+    }
+  }
   RouteCold(std::move(request));
+}
+
+ShedReason LauberhornNic::AdmissionCheck(Endpoint& ep, bool cold) {
+  const SimTime now = sim_.Now();
+  if (config_.admission.quota_rps > 0) {
+    TokenBucket& bucket =
+        service_quota_
+            .try_emplace(ep.service_id, config_.admission.quota_rps,
+                         config_.admission.quota_burst)
+            .first->second;
+    if (!bucket.TryTake(now)) {
+      return ShedReason::kQuota;
+    }
+  }
+  // CoDel-style check over the queue this request would join: sojourn time
+  // of the queue head (wire arrival to now), gated per endpoint for the
+  // NIC-side pending queue and globally for the shared cold queue.
+  if (cold) {
+    const Duration oldest =
+        cold_queue_.empty() ? 0 : now - cold_queue_.front().wire_arrival;
+    if (cold_sojourn_.ShouldShed(now, oldest, config_.admission.sojourn)) {
+      return ShedReason::kSojourn;
+    }
+  } else {
+    const Duration oldest =
+        ep.pending.empty() ? 0 : now - ep.pending.front().wire_arrival;
+    if (ep.sojourn_gate.ShouldShed(now, oldest, config_.admission.sojourn)) {
+      return ShedReason::kSojourn;
+    }
+  }
+  return ShedReason::kNone;
+}
+
+void LauberhornNic::Shed(Endpoint& ep, const PreparedRequest& request,
+                         ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      ++stats_.requests_shed_queue;
+      ++stats_.drops_queue_full;
+      ++ep.shed_queue;
+      break;
+    case ShedReason::kQuota:
+      ++stats_.requests_shed_quota;
+      ++ep.shed_quota;
+      break;
+    case ShedReason::kSojourn:
+      ++stats_.requests_shed_sojourn;
+      ++ep.shed_sojourn;
+      break;
+    case ShedReason::kNone:
+      break;
+  }
+  trace_.Emit(sim_.Now(), TraceEvent::kDrop, ep.id,
+              static_cast<uint32_t>(reason));
+  RpcMessage overload;
+  overload.kind = MessageKind::kResponse;
+  overload.status = RpcStatus::kOverloaded;
+  overload.service_id = request.service_id;
+  overload.method_id = request.method_id;
+  overload.request_id = request.request_id;
+  // TransmitResponse aborts the dedup entry on kOverloaded, so a later
+  // retransmit of this id may still execute (at most once).
+  TransmitResponse(request, std::move(overload));
 }
 
 void LauberhornNic::RouteCold(PreparedRequest request) {
   Endpoint& ep = endpoints_[request.endpoint];
-  ep.cold_dispatch_inflight = true;
-  trace_.Emit(sim_.Now(), TraceEvent::kDispatchCold, ep.id,
-              static_cast<uint32_t>(request.request_id));
   for (size_t i = 0; i < config_.num_kernel_channels; ++i) {
     Endpoint& channel = endpoints_[i];
     if (channel.in_use && channel.waiting.has_value()) {
+      ep.cold_dispatch_inflight = true;
+      trace_.Emit(sim_.Now(), TraceEvent::kDispatchCold, ep.id,
+                  static_cast<uint32_t>(request.request_id));
       ++stats_.cold_dispatches;
       DeliverToKernelChannel(channel, std::move(request));
       return;
     }
   }
+  // The shared spillover queue is bounded: past the limit the NIC sheds
+  // rather than queueing without bound (the cold path is already the slow
+  // path; unbounded growth just manufactures timeouts). The admission depth
+  // limit applies here too — a request admitted into a long cold queue still
+  // pays its full drain time, which no later gate can undo.
+  size_t cold_limit = config_.params.cold_queue_depth;
+  if (config_.admission.enabled && config_.admission.queue_depth_limit > 0) {
+    cold_limit = std::min(cold_limit, config_.admission.queue_depth_limit);
+  }
+  if (cold_queue_.size() >= cold_limit) {
+    Shed(ep, request, ShedReason::kQueueFull);
+    return;
+  }
+  ep.cold_dispatch_inflight = true;
+  trace_.Emit(sim_.Now(), TraceEvent::kDispatchCold, ep.id,
+              static_cast<uint32_t>(request.request_id));
   ++stats_.cold_queued;
   cold_queue_.push_back(std::move(request));
   if (on_need_dispatcher) {
@@ -937,6 +1035,11 @@ bool LauberhornNic::EndpointActive(uint32_t endpoint) const {
   return endpoints_[endpoint].active;
 }
 
+LauberhornNic::EndpointSheds LauberhornNic::endpoint_sheds(uint32_t endpoint) const {
+  const Endpoint& ep = endpoints_[endpoint];
+  return EndpointSheds{ep.shed_queue, ep.shed_quota, ep.shed_sojourn};
+}
+
 std::string LauberhornNic::DebugReport() {
   std::string out = "LauberhornNic endpoints:\n";
   char line[256];
@@ -965,6 +1068,12 @@ std::string LauberhornNic::DebugReport() {
                 static_cast<unsigned long long>(
                     stats_.drops_bad_frame + stats_.drops_no_endpoint +
                     stats_.drops_bad_args + stats_.drops_queue_full));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  sheds: queue=%llu quota=%llu sojourn=%llu\n",
+                static_cast<unsigned long long>(stats_.requests_shed_queue),
+                static_cast<unsigned long long>(stats_.requests_shed_quota),
+                static_cast<unsigned long long>(stats_.requests_shed_sojourn));
   out += line;
   return out;
 }

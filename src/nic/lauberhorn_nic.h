@@ -36,6 +36,7 @@
 #include "src/nic/cost_model.h"
 #include "src/nic/dispatch_line.h"
 #include "src/os/kernel.h"
+#include "src/overload/overload.h"
 #include "src/pcie/pcie_link.h"
 #include "src/proto/cipher.h"
 #include "src/proto/dedup.h"
@@ -86,6 +87,10 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     // and duplicates of a completed request replay the cached response.
     bool dedup = true;
     size_t dedup_window = 1024;  // completed entries remembered
+    // Overload admission control on the RX pipeline (src/overload): quota +
+    // sojourn checks run before a request is queued, and sheds answer with a
+    // NIC-generated kOverloaded reply at zero host-CPU cost.
+    AdmissionConfig admission;
   };
 
   struct Stats {
@@ -111,6 +116,11 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     uint64_t degraded_dispatches = 0;  // requests routed cold while demoted
     uint64_t wedged_polls = 0;         // deliveries withheld by a wedge fault
     uint64_t drops_service_down = 0;   // RX while the OS/service is crashed
+    // Overload control: requests shed with an explicit kOverloaded reply,
+    // by reason. requests_shed_queue also covers the bounded cold queue.
+    uint64_t requests_shed_queue = 0;
+    uint64_t requests_shed_quota = 0;
+    uint64_t requests_shed_sojourn = 0;
   };
 
   LauberhornNic(Simulator& sim, CoherentInterconnect& interconnect, PcieLink& pcie,
@@ -201,6 +211,14 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // -- Introspection -------------------------------------------------------------
 
   const Stats& stats() const { return stats_; }
+  // Per-endpoint shed counters (satellite of the overload work: tail drops
+  // must be attributable, not silent).
+  struct EndpointSheds {
+    uint64_t queue = 0;
+    uint64_t quota = 0;
+    uint64_t sojourn = 0;
+  };
+  EndpointSheds endpoint_sheds(uint32_t endpoint) const;
   // Event trace ring (§6: tracing/statistics integration).
   TraceRing& trace() { return trace_; }
   // Instantaneous queue depth of an endpoint (NIC-side pending requests).
@@ -273,6 +291,12 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     // Per-endpoint end-system latency (§6 statistics): wire arrival to
     // response transmission, kept by the NIC itself. Lazily allocated.
     std::unique_ptr<Histogram> latency;
+    // Overload control: CoDel-style gate over this endpoint's pending queue,
+    // and shed attribution.
+    SojournGate sojourn_gate;
+    uint64_t shed_queue = 0;
+    uint64_t shed_quota = 0;
+    uint64_t shed_sojourn = 0;
   };
 
   // Address decode.
@@ -297,6 +321,15 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   void DegradeEndpoint(Endpoint& ep);
   void DispatchPrepared(PreparedRequest request);
   void RouteCold(PreparedRequest request);
+  // Sheds `request` with a NIC-generated kOverloaded reply: bumps the global
+  // and per-endpoint counters and emits exactly one kDrop trace entry
+  // (a = endpoint, b = reason) before handing off to TransmitResponse (which
+  // aborts the dedup entry so a retransmit may run later).
+  void Shed(Endpoint& ep, const PreparedRequest& request, ShedReason reason);
+  // Admission policy: per-service quota, then the sojourn gate over the
+  // queue this request would join (endpoint pending queue, or the shared
+  // cold queue when `cold`). kNone = admit.
+  ShedReason AdmissionCheck(Endpoint& ep, bool cold);
   // Demux: choose which of a service's endpoints receives this request.
   uint32_t PickEndpoint(const std::vector<uint32_t>& candidates) const;
   // After an endpoint loses its core, queued work must not strand: restart
@@ -328,6 +361,10 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   uint32_t next_service_endpoint_ = 0;
   uint32_t next_kernel_channel_ = 0;
   std::vector<uint32_t> free_continuations_;
+  // Overload control: per-service quota buckets (lazily created from
+  // config_.admission) and a sojourn gate over the shared cold queue.
+  std::unordered_map<uint32_t, TokenBucket> service_quota_;
+  SojournGate cold_sojourn_;
   Stats stats_;
   TraceRing trace_;
 };

@@ -15,7 +15,8 @@ LauberhornRuntime::LauberhornRuntime(Simulator& sim, Kernel& kernel, LauberhornN
       memory_(memory),
       iommu_(iommu),
       services_(services),
-      config_(config) {
+      config_(config),
+      governor_(ScaleGovernor::Config{config.scale_cooldown, config.scale_down_ticks}) {
   next_dma_buffer_ = config_.dma_region_base;
 }
 
@@ -93,8 +94,15 @@ int LauberhornRuntime::ActiveLoops() const {
 void LauberhornRuntime::RetireVictim() {
   uint32_t victim = 0;
   double lowest_rate = -1.0;
+  bool skipped_cooldown = false;
   for (const auto& [id, rt] : endpoints_) {
     if (!rt->in_loop || rt->stop_requested || nic_.QueueDepth(id) != 0) {
+      continue;
+    }
+    if (!governor_.CanChange(id, sim_.Now())) {
+      // Recently (re)started: retiring it now is exactly the thrash the
+      // cooldown exists to prevent. Prefer a victim outside its window.
+      skipped_cooldown = true;
       continue;
     }
     const double rate = nic_.ArrivalRate(id);
@@ -105,6 +113,8 @@ void LauberhornRuntime::RetireVictim() {
   }
   if (lowest_rate >= 0.0) {
     Deschedule(victim);
+  } else if (skipped_cooldown) {
+    governor_.NoteSuppressed();
   }
 }
 
@@ -134,11 +144,19 @@ void LauberhornRuntime::PolicyTick() {
   }
   for (const auto& [process, entry] : per_process) {
     const auto& [count, idlest] = entry;
-    if (count > 1 && nic_.QueueDepth(idlest) == 0 &&
-        nic_.ArrivalRate(idlest) < config_.scale_down_rate_rps) {
-      Deschedule(idlest);
-      break;  // at most one release per tick
+    const bool below = count > 1 && nic_.QueueDepth(idlest) == 0 &&
+                       nic_.ArrivalRate(idlest) < config_.scale_down_rate_rps;
+    // Hysteresis: require `scale_down_ticks` consecutive idle observations,
+    // then respect the per-endpoint cooldown, before releasing the core.
+    if (!governor_.IdleTick(idlest, below)) {
+      continue;
     }
+    if (!governor_.CanChange(idlest, sim_.Now())) {
+      governor_.NoteSuppressed();
+      continue;
+    }
+    Deschedule(idlest);
+    break;  // at most one release per tick
   }
   sim_.Schedule(config_.policy_interval, [this]() { PolicyTick(); });
 }
@@ -157,10 +175,24 @@ void LauberhornRuntime::StartUserLoop(uint32_t endpoint, int core_hint) {
   if (ActiveLoops() >= max_loops) {
     return;
   }
+  if (!governor_.CanChange(endpoint, sim_.Now())) {
+    // Just retired (or started): restarting inside the cooldown window is
+    // the scale-up half of the thrash loop. Cold requests still flow through
+    // the kernel channels meanwhile.
+    governor_.NoteSuppressed();
+    return;
+  }
+  governor_.NoteChange(endpoint, sim_.Now());
   rt.in_loop = true;
   rt.stop_requested = false;
   ++loops_started_;
   rt.thread->PushWork([this, &rt](Core& core) {
+    // Re-anchor the cooldown at actual loop entry: under core saturation the
+    // thread can wait longer than the cooldown for a core, and a cooldown
+    // that expires before the loop has run its first iteration lets
+    // RetireVictim kill it nanoseconds after entry — exactly the thrash the
+    // governor exists to prevent.
+    governor_.NoteChange(rt.endpoint, sim_.Now());
     nic_.trace().Emit(sim_.Now(), TraceEvent::kLoopEnter, rt.endpoint,
                       static_cast<uint32_t>(core.index()));
     nic_.ActivateEndpoint(rt.endpoint, core.index());
@@ -181,6 +213,7 @@ void LauberhornRuntime::OnPlacement(Thread* thread, int core, bool running) {
 void LauberhornRuntime::Deschedule(uint32_t endpoint) {
   auto it = endpoints_.find(endpoint);
   assert(it != endpoints_.end());
+  governor_.NoteChange(endpoint, sim_.Now());
   it->second->stop_requested = true;
   nic_.RequestRetire(endpoint);
 }

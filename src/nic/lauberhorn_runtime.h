@@ -53,6 +53,12 @@ class LauberhornRuntime : public SchedStateListener {
     // Release surplus cores of a multi-endpoint service when the idlest
     // endpoint's arrival rate falls below this.
     double scale_down_rate_rps = 10000.0;
+    // Surge hardening (src/overload): minimum gap between scale actions
+    // (loop start or retire) per endpoint, and consecutive below-threshold
+    // policy ticks required before a scale-down. The defaults reproduce the
+    // un-dampened policy.
+    Duration scale_cooldown = 0;
+    int scale_down_ticks = 1;
   };
 
   LauberhornRuntime(Simulator& sim, Kernel& kernel, LauberhornNic& nic,
@@ -83,6 +89,8 @@ class LauberhornRuntime : public SchedStateListener {
   uint64_t nested_failed() const { return nested_failed_; }
   uint64_t loops_started() const { return loops_started_; }
   uint64_t loops_exited() const { return loops_exited_; }
+  // Scale actions withheld by the hysteresis governor (cooldown hits).
+  uint64_t scale_suppressed() const { return governor_.suppressed(); }
 
  private:
   struct EndpointRt {
@@ -146,6 +154,9 @@ class LauberhornRuntime : public SchedStateListener {
   uint64_t rpcs_cold_ = 0;
   uint64_t loops_started_ = 0;
   uint64_t loops_exited_ = 0;
+  // Hysteresis + cooldown on the scale-up/RETIRE feedback loop so core
+  // reallocation converges under surge instead of thrashing.
+  ScaleGovernor governor_;
 };
 
 }  // namespace lauberhorn

@@ -1,5 +1,6 @@
 #include "src/nic/linux_stack.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -26,6 +27,10 @@ void LinuxRpcStack::RegisterServiceProcess(const ServiceDef& service) {
         kernel_.AddThread(state->process, service.name + "-w" + std::to_string(i)));
   }
   state->socket = kernel_.CreateSocket(service.udp_port, state->workers[0]);
+  if (config_.admission.enabled && config_.admission.quota_rps > 0) {
+    state->quota =
+        TokenBucket(config_.admission.quota_rps, config_.admission.quota_burst);
+  }
   by_port_[service.udp_port] = std::move(state);
 }
 
@@ -65,6 +70,7 @@ void LinuxRpcStack::NapiPoll(uint32_t q, Core& core) {
                          static_cast<Duration>(packets.size()) * per_packet;
   core.Run(total, CoreMode::kKernel, [this, q, &core,
                                       packets = std::move(packets)]() mutable {
+    Duration shed_cost = 0;
     for (Packet& packet : packets) {
       const auto frame = ParseUdpFrame(packet);
       if (!frame.has_value()) {
@@ -77,23 +83,106 @@ void LinuxRpcStack::NapiPoll(uint32_t q, Core& core) {
         continue;
       }
       ServiceState& state = *it->second;
+      if (config_.admission.enabled) {
+        const ShedReason reason = AdmissionCheck(state);
+        if (reason != ShedReason::kNone) {
+          // Unlike the Lauberhorn NIC, saying "no" here still burns kernel
+          // CPU: the softirq core decodes the request and transmits the
+          // kOverloaded reply itself.
+          shed_cost += ShedFrame(q, *frame, reason);
+          continue;
+        }
+      }
       // Deliver the whole frame so the worker can address the response.
-      if (state.socket->Enqueue(std::move(packet.bytes))) {
+      if (state.socket->Enqueue(std::move(packet.bytes), sim_.Now())) {
         PostWorkerWork(state);
       }
     }
     // More completions waiting: keep the NAPI thread polling (it yields the
     // core between rounds, so regular scheduling still happens - step (3) in
     // Fig. 5's traditional loop).
-    Thread* napi = softirq_threads_[q];
-    if (driver_.RxPending(q) && !napi->HasWork()) {
-      napi->PushWork([this, q](Core& inner) { NapiPoll(q, inner); });
-    }
-    kernel_.scheduler().OnWorkDone(core);
-    if (napi->HasWork()) {
-      kernel_.scheduler().Wake(napi, core.index());
+    auto finish = [this, q, &core]() {
+      Thread* napi = softirq_threads_[q];
+      if (driver_.RxPending(q) && !napi->HasWork()) {
+        napi->PushWork([this, q](Core& inner) { NapiPoll(q, inner); });
+      }
+      kernel_.scheduler().OnWorkDone(core);
+      if (napi->HasWork()) {
+        kernel_.scheduler().Wake(napi, core.index());
+      }
+    };
+    if (shed_cost > 0) {
+      core.Run(shed_cost, CoreMode::kKernel, std::move(finish));
+    } else {
+      finish();
     }
   });
+}
+
+ShedReason LinuxRpcStack::AdmissionCheck(ServiceState& state) {
+  const SimTime now = sim_.Now();
+  size_t depth_limit = state.socket->max_depth();
+  if (config_.admission.queue_depth_limit > 0) {
+    depth_limit = std::min(depth_limit, config_.admission.queue_depth_limit);
+  }
+  if (state.socket->depth() >= depth_limit) {
+    return ShedReason::kQueueFull;
+  }
+  if (state.quota.metered() && !state.quota.TryTake(now)) {
+    return ShedReason::kQuota;
+  }
+  if (state.sojourn.ShouldShed(now, state.socket->OldestAge(now),
+                               config_.admission.sojourn)) {
+    return ShedReason::kSojourn;
+  }
+  return ShedReason::kNone;
+}
+
+Duration LinuxRpcStack::ShedFrame(uint32_t q, const ParsedFrame& frame,
+                                  ShedReason reason) {
+  const OsCostModel& costs = kernel_.costs();
+  // Decode enough of the request to address the reply. Invalid requests are
+  // dropped without a reply (same as the worker path would).
+  const auto request = DecodeRpcMessage(frame.payload);
+  if (!request.has_value() || request->kind != MessageKind::kRequest) {
+    ++bad_requests_;
+    return costs.protocol_processing;
+  }
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      ++sheds_queue_;
+      break;
+    case ShedReason::kQuota:
+      ++sheds_quota_;
+      break;
+    case ShedReason::kSojourn:
+      ++sheds_sojourn_;
+      break;
+    case ShedReason::kNone:
+      break;
+  }
+  RpcMessage overload;
+  overload.kind = MessageKind::kResponse;
+  overload.status = RpcStatus::kOverloaded;
+  overload.service_id = request->service_id;
+  overload.method_id = request->method_id;
+  overload.request_id = request->request_id;
+  std::vector<uint8_t> payload;
+  EncodeRpcMessage(overload, payload);
+  EthernetHeader eth;
+  eth.dst = frame.eth.src;
+  eth.src = frame.eth.dst;
+  Ipv4Header ip;
+  ip.src = frame.ip.dst;
+  ip.dst = frame.ip.src;
+  UdpHeader udp;
+  udp.src_port = frame.udp.dst_port;
+  udp.dst_port = frame.udp.src_port;
+  const Packet out = BuildUdpFrame(eth, ip, udp, payload);
+  driver_.Transmit(q, out.bytes);
+  const Duration cost = costs.protocol_processing + costs.driver_tx_per_packet;
+  shed_cpu_time_ += cost;
+  return cost;
 }
 
 void LinuxRpcStack::PostWorkerWork(ServiceState& state) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/os/process.h"
+#include "src/sim/time.h"
 
 namespace lauberhorn {
 
@@ -22,22 +23,31 @@ class Socket {
   Thread* owner() const { return owner_; }
 
   // Returns false (and counts a drop) when the receive buffer is full.
-  bool Enqueue(std::vector<uint8_t> datagram) {
+  // `now` stamps the datagram's arrival so overload control can measure the
+  // sojourn time of the queue head.
+  bool Enqueue(std::vector<uint8_t> datagram, SimTime now = 0) {
     if (queue_.size() >= max_depth_) {
       ++drops_;
       return false;
     }
     queue_.push_back(std::move(datagram));
+    arrived_.push_back(now);
     return true;
   }
 
   bool HasData() const { return !queue_.empty(); }
   size_t depth() const { return queue_.size(); }
+  size_t max_depth() const { return max_depth_; }
   uint64_t drops() const { return drops_; }
+  // Sojourn time of the queue head (0 when empty).
+  Duration OldestAge(SimTime now) const {
+    return arrived_.empty() ? 0 : now - arrived_.front();
+  }
 
   std::vector<uint8_t> Dequeue() {
     std::vector<uint8_t> d = std::move(queue_.front());
     queue_.pop_front();
+    arrived_.pop_front();
     return d;
   }
 
@@ -46,6 +56,7 @@ class Socket {
   Thread* owner_;
   size_t max_depth_;
   std::deque<std::vector<uint8_t>> queue_;
+  std::deque<SimTime> arrived_;
   uint64_t drops_ = 0;
 };
 

@@ -26,7 +26,7 @@ enum class TraceEvent : uint16_t {
   kRetire,          // a=endpoint
   kLoopEnter,       // a=endpoint, b=core
   kLoopExit,        // a=endpoint, b=core
-  kDrop,            // a=endpoint, b=reason
+  kDrop,            // a=endpoint, b=reason (ShedReason in src/overload)
   kDegrade,         // a=endpoint, b=tryagain streak at demotion
 };
 

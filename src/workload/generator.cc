@@ -113,10 +113,13 @@ void OpenLoopGenerator::Fire() {
   ++sent_;
   client_.CallRaw(target.service->udp_port, target.service->service_id,
                   target.method_id, MakePayload(rng_, target),
-                  [this, index](const RpcMessage&, Duration rtt) {
+                  [this, index](const RpcMessage& msg, Duration rtt) {
                     ++completed_;
                     ++per_target_completed_[index];
                     rtt_.Record(rtt);
+                    if (on_response) {
+                      on_response(msg, rtt);
+                    }
                   });
 }
 

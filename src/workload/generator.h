@@ -57,6 +57,15 @@ class OpenLoopGenerator {
   // Replaces target weights (for phase shifts); takes effect immediately.
   void SetWeights(const std::vector<double>& weights);
 
+  // Changes the offered rate; the next inter-arrival gap uses the new rate
+  // (for surge/recovery phase schedules).
+  void SetRate(double rate_rps) { config_.rate_rps = rate_rps; }
+
+  // Optional per-response hook, invoked for every completion alongside the
+  // generator's own accounting (status-aware benches key phases off this).
+  using ResponseHook = Function<void(const RpcMessage&, Duration rtt)>;
+  ResponseHook on_response;
+
  private:
   void ScheduleNext();
   void Fire();
