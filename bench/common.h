@@ -28,12 +28,14 @@ inline void PrintHeader(const std::string& id, const std::string& title) {
 //   --seed S     base RNG seed (trial i derives seed S + i)
 //   --json PATH  write a machine-readable BENCH_*.json result to PATH
 //   --smoke      CI mode: shrink the workload so the bench finishes in seconds
+//   --trace PATH write a Chrome trace-event JSON (benches that record spans)
 struct BenchArgs {
   bool csv = false;
   bool smoke = false;
   int trials = 1;
   uint64_t seed = 1;
   std::string json;
+  std::string trace;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -56,10 +58,12 @@ struct BenchArgs {
         args.seed = static_cast<uint64_t>(std::strtoull(next_value("--seed"), nullptr, 10));
       } else if (arg == "--json") {
         args.json = next_value("--json");
+      } else if (arg == "--trace") {
+        args.trace = next_value("--trace");
       } else {
         std::fprintf(stderr,
                      "unknown flag %s (supported: --csv --trials N --seed S "
-                     "--json PATH --smoke)\n",
+                     "--json PATH --trace PATH --smoke)\n",
                      arg.c_str());
         std::exit(2);
       }

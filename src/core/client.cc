@@ -200,6 +200,9 @@ void RpcClient::ReceivePacket(Packet packet) {
   }
   const Duration rtt = sim_.Now() - pending.sent_at;
   ++completed_;
+  if (spans_ != nullptr) {
+    spans_->Record(msg->request_id, SpanStage::kClientRx, sim_.Now());
+  }
   if (msg->status == RpcStatus::kOverloaded) {
     // Explicit server push-back: its own bucket (not errors, not timeouts),
     // excluded from the admitted-RTT histogram, and a multiplicative cut of

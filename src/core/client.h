@@ -25,6 +25,7 @@
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/stats/histogram.h"
+#include "src/stats/span.h"
 
 namespace lauberhorn {
 
@@ -107,6 +108,9 @@ class RpcClient : public PacketSink {
   bool breaker_open() const { return sim_.Now() < breaker_until_; }
   double retry_tokens() const { return retry_tokens_; }
 
+  // Per-request span tracing: the client closes each span (kClientRx).
+  void set_span_collector(SpanCollector* spans) { spans_ = spans; }
+
  private:
   struct Pending {
     SimTime sent_at = 0;
@@ -134,6 +138,7 @@ class RpcClient : public PacketSink {
   Simulator& sim_;
   LinkDirection& to_server_;
   Config config_;
+  SpanCollector* spans_ = nullptr;
   Rng rng_;
   uint64_t next_request_id_ = 1;
   std::unordered_map<uint64_t, Pending> pending_;

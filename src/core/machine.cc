@@ -166,6 +166,23 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
   client_config.seed = 0x5eed ^ config_.seed;
   client_ = std::make_unique<RpcClient>(*sim_, wire_->a_to_b(), client_config);
   wire_->b_to_a().set_sink(client_.get());
+
+  if (config_.enable_spans) {
+    spans_ = std::make_unique<SpanCollector>(config_.span_capacity);
+    client_->set_span_collector(spans_.get());
+    if (lauberhorn_nic_ != nullptr) {
+      lauberhorn_nic_->set_span_collector(spans_.get());
+    }
+    if (lauberhorn_runtime_ != nullptr) {
+      lauberhorn_runtime_->set_span_collector(spans_.get());
+    }
+    if (linux_stack_ != nullptr) {
+      linux_stack_->set_span_collector(spans_.get());
+    }
+    if (bypass_ != nullptr) {
+      bypass_->set_span_collector(spans_.get());
+    }
+  }
   HookLatencyTracking();
 }
 
@@ -184,6 +201,11 @@ void Machine::HookLatencyTracking() {
     const auto msg = DecodeRpcMessage(frame->payload);
     if (msg.has_value() && msg->kind == MessageKind::kRequest) {
       request_arrivals_[msg->request_id] = sim_->Now();
+      if (spans_ != nullptr) {
+        // Spans open here: wire arrival at the server NIC. Retransmits of an
+        // in-flight id are counted by the collector, not re-opened.
+        spans_->Record(msg->request_id, SpanStage::kWireRx, sim_->Now());
+      }
     }
   };
   auto on_tx = [this](const Packet& packet) {
@@ -194,6 +216,10 @@ void Machine::HookLatencyTracking() {
     const auto msg = DecodeRpcMessage(frame->payload);
     if (!msg.has_value() || msg->kind != MessageKind::kResponse) {
       return;
+    }
+    if (spans_ != nullptr) {
+      // Before the arrivals-map early return: dedup replays still stamp TX.
+      spans_->Record(msg->request_id, SpanStage::kWireTx, sim_->Now());
     }
     auto it = request_arrivals_.find(msg->request_id);
     if (it == request_arrivals_.end()) {
@@ -283,6 +309,111 @@ void Machine::ResetMeasurement() {
   end_system_.Reset();
   busy_at_reset_ = kernel_->TotalBusyTime();
   rpcs_at_reset_ = server_rpcs_;
+}
+
+void Machine::ExportMetrics(MetricsRegistry& metrics) const {
+  metrics.SetCounter("client/sent", client_->sent());
+  metrics.SetCounter("client/completed", client_->completed());
+  metrics.SetCounter("client/errors", client_->errors());
+  metrics.SetCounter("client/retransmits", client_->retransmits());
+  metrics.SetCounter("client/retransmits_suppressed",
+                     client_->retransmits_suppressed());
+  metrics.SetCounter("client/timeouts", client_->timeouts());
+  metrics.SetCounter("client/late_responses", client_->late_responses());
+  metrics.SetCounter("client/overloaded", client_->overloaded());
+  metrics.SetCounter("client/breaker_openings", client_->breaker_openings());
+  metrics.Histo("client/rtt").Merge(client_->rtt());
+
+  metrics.SetCounter("machine/server_rpcs", server_rpcs_);
+  metrics.SetGauge("machine/cycles_per_rpc", CyclesPerRpc());
+  metrics.SetGauge("machine/busy_time_us",
+                   static_cast<double>(TotalBusyTime()) /
+                       static_cast<double>(Microseconds(1)));
+  metrics.Histo("machine/end_system_latency").Merge(end_system_);
+
+  if (lauberhorn_nic_ != nullptr) {
+    const LauberhornNic::Stats& s = lauberhorn_nic_->stats();
+    metrics.SetCounter("nic/hot_dispatches", s.hot_dispatches);
+    metrics.SetCounter("nic/queued_dispatches", s.queued_dispatches);
+    metrics.SetCounter("nic/cold_dispatches", s.cold_dispatches);
+    metrics.SetCounter("nic/cold_queued", s.cold_queued);
+    metrics.SetCounter("nic/tryagains", s.tryagains);
+    metrics.SetCounter("nic/retires", s.retires);
+    metrics.SetCounter("nic/responses_sent", s.responses_sent);
+    metrics.SetCounter("nic/dma_fallback_rx", s.dma_fallback_rx);
+    metrics.SetCounter("nic/dma_fallback_tx", s.dma_fallback_tx);
+    metrics.SetCounter("nic/dup_drops_in_flight", s.dup_drops_in_flight);
+    metrics.SetCounter("nic/dup_replays", s.dup_replays);
+    metrics.SetCounter("nic/degradations", s.degradations);
+    metrics.SetCounter("overload/sheds_queue", s.requests_shed_queue);
+    metrics.SetCounter("overload/sheds_quota", s.requests_shed_quota);
+    metrics.SetCounter("overload/sheds_sojourn", s.requests_shed_sojourn);
+  }
+  if (lauberhorn_runtime_ != nullptr) {
+    metrics.SetCounter("runtime/rpcs_hot", lauberhorn_runtime_->rpcs_hot());
+    metrics.SetCounter("runtime/rpcs_cold", lauberhorn_runtime_->rpcs_cold());
+    metrics.SetCounter("runtime/loops_started",
+                       lauberhorn_runtime_->loops_started());
+    metrics.SetCounter("runtime/loops_exited",
+                       lauberhorn_runtime_->loops_exited());
+    metrics.SetCounter("runtime/nested_issued",
+                       lauberhorn_runtime_->nested_issued());
+    metrics.SetCounter("overload/scale_suppressed",
+                       lauberhorn_runtime_->scale_suppressed());
+  }
+  if (linux_stack_ != nullptr) {
+    metrics.SetCounter("linux/rpcs_completed", linux_stack_->rpcs_completed());
+    metrics.SetCounter("linux/bad_requests", linux_stack_->bad_requests());
+    metrics.SetCounter("linux/dup_drops_in_flight",
+                       linux_stack_->dup_drops_in_flight());
+    metrics.SetCounter("linux/dup_replays", linux_stack_->dup_replays());
+    metrics.SetCounter("overload/sheds_queue", linux_stack_->sheds_queue());
+    metrics.SetCounter("overload/sheds_quota", linux_stack_->sheds_quota());
+    metrics.SetCounter("overload/sheds_sojourn", linux_stack_->sheds_sojourn());
+    metrics.SetGauge("overload/shed_cpu_us",
+                     static_cast<double>(linux_stack_->shed_cpu_time()) /
+                         static_cast<double>(Microseconds(1)));
+  }
+  if (bypass_ != nullptr) {
+    metrics.SetCounter("bypass/rpcs_completed", bypass_->rpcs_completed());
+    metrics.SetCounter("bypass/bad_requests", bypass_->bad_requests());
+    metrics.SetCounter("bypass/empty_polls", bypass_->empty_polls());
+    metrics.SetCounter("bypass/dup_drops_in_flight",
+                       bypass_->dup_drops_in_flight());
+    metrics.SetCounter("bypass/dup_replays", bypass_->dup_replays());
+    metrics.SetCounter("overload/sheds_queue", bypass_->sheds_queue());
+    metrics.SetCounter("overload/sheds_quota", bypass_->sheds_quota());
+    metrics.SetCounter("overload/sheds_sojourn", bypass_->sheds_sojourn());
+    metrics.SetGauge("overload/shed_cpu_us",
+                     static_cast<double>(bypass_->shed_cpu_time()) /
+                         static_cast<double>(Microseconds(1)));
+  }
+  if (faults_ != nullptr) {
+    const FaultInjector::Stats& f = faults_->stats();
+    metrics.SetCounter("fault/net_drops", f.net_drops);
+    metrics.SetCounter("fault/net_duplicates", f.net_duplicates);
+    metrics.SetCounter("fault/net_reorders", f.net_reorders);
+    metrics.SetCounter("fault/net_corruptions", f.net_corruptions);
+    metrics.SetCounter("fault/coherence_fill_delays", f.coherence_fill_delays);
+    metrics.SetCounter("fault/coherence_fill_drops", f.coherence_fill_drops);
+    metrics.SetCounter("fault/iommu_faults", f.iommu_faults);
+    metrics.SetCounter("fault/dma_errors", f.dma_errors);
+    metrics.SetCounter("fault/os_crashes", f.os_crashes);
+    metrics.SetCounter("fault/nic_wedges", f.nic_wedges);
+  }
+  if (spans_ != nullptr) {
+    metrics.SetCounter("span/completed", spans_->completed().size());
+    metrics.SetCounter("span/open", spans_->open_count());
+    metrics.SetCounter("span/dropped", spans_->dropped());
+    metrics.SetCounter("span/orphan_marks", spans_->orphan_marks());
+    metrics.SetCounter("span/reopened", spans_->reopened());
+    const SpanCollector::StageBudget budget = spans_->Aggregate();
+    for (size_t i = 0; i < kSpanSegmentCount; ++i) {
+      metrics.Histo(std::string("span/seg_") + SpanSegmentName(i))
+          .Merge(budget.segments[i]);
+    }
+    metrics.Histo("span/total").Merge(budget.total);
+  }
 }
 
 }  // namespace lauberhorn

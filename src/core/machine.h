@@ -39,6 +39,8 @@
 #include "src/proto/service.h"
 #include "src/sim/simulator.h"
 #include "src/stats/histogram.h"
+#include "src/stats/metrics.h"
+#include "src/stats/span.h"
 
 namespace lauberhorn {
 
@@ -100,6 +102,11 @@ struct MachineConfig {
   // the injector is wired into the wire, interconnect, IOMMU, PCIe, and the
   // active NIC, with per-layer forked random streams.
   FaultPlan faults;
+  // Per-request span tracing (src/stats/span): every stack stamps the same
+  // eight stages, stitched by request id. Off by default — benches that
+  // measure raw throughput stay unaffected.
+  bool enable_spans = false;
+  size_t span_capacity = 1 << 16;
   uint64_t seed = 1;
 };
 
@@ -146,6 +153,8 @@ class Machine {
   MemoryHomeAgent& memory() { return *memory_; }
   // Null unless config.faults.Any().
   FaultInjector* fault_injector() { return faults_.get(); }
+  // Null unless config.enable_spans.
+  SpanCollector* spans() { return spans_.get(); }
 
   // -- Measurement -----------------------------------------------------------
 
@@ -160,6 +169,11 @@ class Machine {
   // Busy cycles per completed RPC since the last ResetMeasurement().
   double CyclesPerRpc() const;
   void ResetMeasurement();
+
+  // Snapshots every subsystem's counters/latencies into `metrics` under
+  // "subsystem/name" keys (client, machine, the active stack, faults, spans).
+  // Pull-style: call once after a run; nothing is maintained on the data path.
+  void ExportMetrics(MetricsRegistry& metrics) const;
 
  private:
   void HookLatencyTracking();
@@ -176,6 +190,7 @@ class Machine {
   ServiceRegistry services_;
   std::unique_ptr<Link> wire_;  // a = client, b = server NIC
   std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<SpanCollector> spans_;
 
   std::unique_ptr<DmaNic> dma_nic_;
   std::unique_ptr<DmaNicDriver> dma_driver_;

@@ -181,6 +181,15 @@ void BypassRuntime::ProcessBatch(uint32_t q, Core& core, std::vector<Packet> pac
   }
 
   if (!replay) {
+    if (spans_ != nullptr) {
+      // Run-to-completion: admission, dispatch, pickup, and handler entry
+      // all collapse into this single poll-loop decision point.
+      spans_->Record(request->request_id, SpanStage::kAdmitted, sim_.Now());
+      spans_->Record(request->request_id, SpanStage::kDispatched, sim_.Now());
+      spans_->Record(request->request_id, SpanStage::kDelivered, sim_.Now());
+      spans_->Record(request->request_id, SpanStage::kHandlerStart, sim_.Now());
+      spans_->Annotate(request->request_id, SpanDispatch::kPolled, q);
+    }
     if (service == nullptr) {
       response.status = RpcStatus::kNoSuchService;
     } else if (method == nullptr) {
@@ -223,8 +232,13 @@ void BypassRuntime::ProcessBatch(uint32_t q, Core& core, std::vector<Packet> pac
   EncodeRpcMessage(response, payload);
   const Packet out = BuildUdpFrame(eth, ip, udp, payload);
 
+  const uint64_t request_id = request->request_id;
   core.Run(work, CoreMode::kUser,
-           [this, q, &core, out, replay, packets = std::move(packets), index]() mutable {
+           [this, q, &core, out, replay, request_id, packets = std::move(packets),
+            index]() mutable {
+             if (spans_ != nullptr && !replay) {
+               spans_->Record(request_id, SpanStage::kHandlerEnd, sim_.Now());
+             }
              driver_.Transmit(q, out.bytes);
              if (!replay) {
                ++rpcs_completed_;

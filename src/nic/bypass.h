@@ -17,6 +17,7 @@
 #include "src/proto/dedup.h"
 #include "src/proto/rpc_message.h"
 #include "src/proto/service.h"
+#include "src/stats/span.h"
 
 namespace lauberhorn {
 
@@ -61,6 +62,9 @@ class BypassRuntime {
   void Start();
   void Stop() { running_ = false; }
 
+  // Per-request span tracing: the poll loop stamps pickup + handler bounds.
+  void set_span_collector(SpanCollector* spans) { spans_ = spans; }
+
   uint64_t rpcs_completed() const { return rpcs_completed_; }
   uint64_t bad_requests() const { return bad_requests_; }
   uint64_t empty_polls() const { return empty_polls_; }
@@ -88,6 +92,7 @@ class BypassRuntime {
   DmaNicDriver& driver_;
   ServiceRegistry& services_;
   Config config_;
+  SpanCollector* spans_ = nullptr;
   Process* process_ = nullptr;  // the bypass application owns its data plane
   RpcDedupCache dedup_;
   bool running_ = false;

@@ -484,6 +484,12 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
     ++stats_.hot_dispatches;
     trace_.Emit(sim_.Now(), TraceEvent::kDispatchHot, ep.id,
                 static_cast<uint32_t>(request.request_id));
+    if (spans_ != nullptr) {
+      // The hot path has no admission gate to fail: dispatch implies admit.
+      spans_->Record(request.request_id, SpanStage::kAdmitted, sim_.Now());
+      spans_->Record(request.request_id, SpanStage::kDispatched, sim_.Now());
+      spans_->Annotate(request.request_id, SpanDispatch::kHot, ep.id);
+    }
     DeliverToWaiting(ep, std::move(request));
     return;
   }
@@ -507,6 +513,11 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
     ++stats_.queued_dispatches;
     trace_.Emit(sim_.Now(), TraceEvent::kDispatchQueued, ep.id,
                 static_cast<uint32_t>(request.request_id));
+    if (spans_ != nullptr) {
+      spans_->Record(request.request_id, SpanStage::kAdmitted, sim_.Now());
+      spans_->Record(request.request_id, SpanStage::kDispatched, sim_.Now());
+      spans_->Annotate(request.request_id, SpanDispatch::kQueued, ep.id);
+    }
     ep.pending.push_back(std::move(request));
     return;
   }
@@ -585,6 +596,13 @@ void LauberhornNic::Shed(Endpoint& ep, const PreparedRequest& request,
 
 void LauberhornNic::RouteCold(PreparedRequest request) {
   Endpoint& ep = endpoints_[request.endpoint];
+  if (spans_ != nullptr) {
+    // First-write-wins keeps the original stamps when a queued request is
+    // drained here after a degradation or a core retire.
+    spans_->Record(request.request_id, SpanStage::kAdmitted, sim_.Now());
+    spans_->Record(request.request_id, SpanStage::kDispatched, sim_.Now());
+    spans_->Annotate(request.request_id, SpanDispatch::kCold, ep.id);
+  }
   for (size_t i = 0; i < config_.num_kernel_channels; ++i) {
     Endpoint& channel = endpoints_[i];
     if (channel.in_use && channel.waiting.has_value()) {
@@ -682,6 +700,9 @@ DispatchLine LauberhornNic::BuildDispatch(const Endpoint& ep,
 
 void LauberhornNic::DeliverToWaiting(Endpoint& ep, PreparedRequest request) {
   assert(ep.waiting.has_value());
+  if (spans_ != nullptr && !ep.is_continuation) {
+    spans_->Record(request.request_id, SpanStage::kDelivered, sim_.Now());
+  }
   ep.tryagain_streak = 0;  // the hot path is making progress
   WaitingLoad waiting = std::move(*ep.waiting);
   ep.waiting.reset();
@@ -707,6 +728,9 @@ void LauberhornNic::DeliverToWaiting(Endpoint& ep, PreparedRequest request) {
 
 void LauberhornNic::DeliverToKernelChannel(Endpoint& channel, PreparedRequest request) {
   assert(channel.waiting.has_value());
+  if (spans_ != nullptr) {
+    spans_->Record(request.request_id, SpanStage::kDelivered, sim_.Now());
+  }
   WaitingLoad waiting = std::move(*channel.waiting);
   channel.waiting.reset();
   if (waiting.tryagain_event != kInvalidEventId) {

@@ -44,6 +44,7 @@
 #include "src/proto/service.h"
 #include "src/sim/simulator.h"
 #include "src/stats/histogram.h"
+#include "src/stats/span.h"
 #include "src/stats/trace.h"
 
 namespace lauberhorn {
@@ -132,6 +133,8 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // Optional fault injection (src/fault): wedged endpoint CONTROL lines and
   // OS crash windows (RX blackhole while the service stack is down).
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  // Per-request span tracing: the NIC stamps admission/dispatch/delivery.
+  void set_span_collector(SpanCollector* spans) { spans_ = spans; }
 
   // -- Address layout ------------------------------------------------------
 
@@ -348,6 +351,7 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   AgentId home_id_ = kNoAgent;
   LinkDirection* tx_wire_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  SpanCollector* spans_ = nullptr;
   RpcDedupCache dedup_;
 
   std::vector<Endpoint> endpoints_;  // [0, num_kernel_channels) are kernel

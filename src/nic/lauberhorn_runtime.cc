@@ -390,6 +390,10 @@ void LauberhornRuntime::HandleDispatch(EndpointRt& rt, Core& core,
   GatherArgs(rt.endpoint, core, dispatch,
              [this, &rt, &core, dispatch](std::vector<uint8_t> args,
                                           Duration extra_cost) {
+               if (spans_ != nullptr) {
+                 spans_->Record(dispatch.request_id, SpanStage::kHandlerStart,
+                                sim_.Now());
+               }
                const MethodDef* method = rt.service->FindMethod(dispatch.method_id);
                RpcMessage response;
                response.kind = MessageKind::kResponse;
@@ -428,6 +432,9 @@ void LauberhornRuntime::WriteResponse(EndpointRt& rt, Core& core,
                                       Duration user_cost) {
   core.Run(user_cost, CoreMode::kUser, [this, &rt, &core, dispatch,
                                         response = std::move(response)]() mutable {
+    if (spans_ != nullptr) {
+      spans_->Record(dispatch.request_id, SpanStage::kHandlerEnd, sim_.Now());
+    }
     ResponseLine line;
     line.status = static_cast<uint16_t>(response.status);
     line.resp_len = static_cast<uint32_t>(response.payload.size());
@@ -576,6 +583,10 @@ void LauberhornRuntime::HandleColdDispatch(size_t slot, Core& core,
   core.Run(config_.cold_handling_overhead + costs.context_switch, CoreMode::kKernel,
            [this, slot, &core, &rt, dispatch, args = std::move(args)]() mutable {
              core.set_loaded_pid(rt.process->pid);
+             if (spans_ != nullptr) {
+               spans_->Record(dispatch.request_id, SpanStage::kHandlerStart,
+                              sim_.Now());
+             }
              const MethodDef* method = rt.service->FindMethod(dispatch.method_id);
              if (method != nullptr && method->has_nested_call()) {
                std::vector<WireValue> values;
@@ -587,6 +598,10 @@ void LauberhornRuntime::HandleColdDispatch(size_t slot, Core& core,
                        core.Run(finish_cost, CoreMode::kUser,
                                 [this, slot, &core, &rt,
                                  nested_response = std::move(nested_response)]() mutable {
+                                  if (spans_ != nullptr) {
+                                    spans_->Record(nested_response.request_id,
+                                                   SpanStage::kHandlerEnd, sim_.Now());
+                                  }
                                   nic_.SoftwareTransmit(nested_response.request_id,
                                                         std::move(nested_response));
                                   ++rpcs_cold_;
@@ -622,6 +637,10 @@ void LauberhornRuntime::HandleColdDispatch(size_t slot, Core& core,
              }
              core.Run(user_cost, CoreMode::kUser, [this, slot, &core, &rt,
                                                    response = std::move(response)]() mutable {
+               if (spans_ != nullptr) {
+                 spans_->Record(response.request_id, SpanStage::kHandlerEnd,
+                                sim_.Now());
+               }
                nic_.SoftwareTransmit(response.request_id, std::move(response));
                ++rpcs_cold_;
                dispatchers_[slot].armed = false;

@@ -76,6 +76,9 @@ class LauberhornRuntime : public SchedStateListener {
   // prefers that core.
   void StartUserLoop(uint32_t endpoint, int core_hint = -1);
 
+  // Per-request span tracing: the runtime stamps handler start/end.
+  void set_span_collector(SpanCollector* spans) { spans_ = spans; }
+
   // §5.2: reclaim the endpoint's core (IPI + RETIRE handshake).
   void Deschedule(uint32_t endpoint);
 
@@ -138,6 +141,7 @@ class LauberhornRuntime : public SchedStateListener {
   Iommu& iommu_;
   ServiceRegistry& services_;
   Config config_;
+  SpanCollector* spans_ = nullptr;
 
   std::unordered_map<uint32_t, std::unique_ptr<EndpointRt>> endpoints_;
   struct DispatcherRt {

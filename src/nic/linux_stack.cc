@@ -93,6 +93,17 @@ void LinuxRpcStack::NapiPoll(uint32_t q, Core& core) {
           continue;
         }
       }
+      if (spans_ != nullptr) {
+        // Decode before the bytes move into the socket (the parsed frame's
+        // payload views them). Softirq delivery to the socket is this stack's
+        // admission verdict and dispatch decision in one step.
+        const auto msg = DecodeRpcMessage(frame->payload);
+        if (msg.has_value() && msg->kind == MessageKind::kRequest) {
+          spans_->Record(msg->request_id, SpanStage::kAdmitted, sim_.Now());
+          spans_->Record(msg->request_id, SpanStage::kDispatched, sim_.Now());
+          spans_->Annotate(msg->request_id, SpanDispatch::kWorker, q);
+        }
+      }
       // Deliver the whole frame so the worker can address the response.
       if (state.socket->Enqueue(std::move(packet.bytes), sim_.Now())) {
         PostWorkerWork(state);
@@ -217,6 +228,10 @@ void LinuxRpcStack::WorkerStep(ServiceState& state, Core& core) {
     return;
   }
   const auto request = DecodeRpcMessage(frame->payload);
+  if (spans_ != nullptr && request.has_value() &&
+      request->kind == MessageKind::kRequest) {
+    spans_->Record(request->request_id, SpanStage::kDelivered, sim_.Now());
+  }
 
   // Step 1: recvmsg syscall + copyout of the payload.
   const Duration recv_cost = costs.syscall + costs.socket_syscall_path +
@@ -283,6 +298,9 @@ void LinuxRpcStack::WorkerStep(ServiceState& state, Core& core) {
     }
 
     if (!replay) {
+      if (spans_ != nullptr) {
+        spans_->Record(plain.request_id, SpanStage::kHandlerStart, sim_.Now());
+      }
       const MethodDef* method = state.def->FindMethod(plain.method_id);
       if (method == nullptr) {
         response.status = RpcStatus::kNoSuchMethod;
@@ -313,6 +331,9 @@ void LinuxRpcStack::WorkerStep(ServiceState& state, Core& core) {
 
     core.Run(user_cost, CoreMode::kUser, [this, &state, &core, response, replay, req_eth,
                                           req_ip, req_udp]() {
+      if (spans_ != nullptr && !replay) {
+        spans_->Record(response.request_id, SpanStage::kHandlerEnd, sim_.Now());
+      }
       // Step 3: sendmsg syscall + copyin + driver TX.
       std::vector<uint8_t> payload;
       EncodeRpcMessage(response, payload);

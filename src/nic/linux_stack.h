@@ -23,6 +23,7 @@
 #include "src/proto/dedup.h"
 #include "src/proto/rpc_message.h"
 #include "src/proto/service.h"
+#include "src/stats/span.h"
 
 namespace lauberhorn {
 
@@ -54,6 +55,9 @@ class LinuxRpcStack {
 
   // Installs MSI-X handlers and creates the per-queue softirq threads.
   void Start();
+
+  // Per-request span tracing: socket enqueue/dequeue and handler start/end.
+  void set_span_collector(SpanCollector* spans) { spans_ = spans; }
 
   uint64_t rpcs_completed() const { return rpcs_completed_; }
   uint64_t bad_requests() const { return bad_requests_; }
@@ -101,6 +105,7 @@ class LinuxRpcStack {
   Msix& msix_;
   ServiceRegistry& services_;
   Config config_;
+  SpanCollector* spans_ = nullptr;
   std::vector<Thread*> softirq_threads_;  // one per queue
   std::unordered_map<uint16_t, std::unique_ptr<ServiceState>> by_port_;
   RpcDedupCache dedup_;

@@ -1,0 +1,140 @@
+#include "src/stats/chrome_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lauberhorn {
+namespace {
+
+double PsToUs(SimTime ps) { return static_cast<double>(ps) / 1e6; }
+
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  // %.9g keeps sub-ns resolution on microsecond timestamps out to ~1 s runs.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::vector<ChromeTraceEvent> SpanTraceEvents(const SpanCollector& spans) {
+  std::vector<ChromeTraceEvent> events;
+  events.reserve(spans.completed().size() * (1 + kSpanSegmentCount));
+  for (const RequestSpan& span : spans.completed()) {
+    if (!span.Complete()) {
+      continue;
+    }
+    const uint32_t tid = static_cast<uint32_t>(span.request_id);
+    char name[64];
+    std::snprintf(name, sizeof(name), "rpc#%llu",
+                  static_cast<unsigned long long>(span.request_id));
+    char args[128];
+    std::snprintf(args, sizeof(args),
+                  "{\"dispatch\":\"%s\",\"endpoint\":%u}",
+                  ToString(span.dispatch).c_str(), span.endpoint);
+    events.push_back(ChromeTraceEvent{
+        name, "rpc", 'X', PsToUs(span.At(SpanStage::kWireRx)),
+        PsToUs(span.Total()), kChromeTracePidSpans, tid, args});
+    for (size_t i = 0; i < kSpanSegmentCount; ++i) {
+      const Duration dur = span.Segment(i);
+      if (dur < 0) {
+        continue;
+      }
+      events.push_back(ChromeTraceEvent{
+          SpanSegmentName(i), "stage", 'X', PsToUs(span.at[i]), PsToUs(dur),
+          kChromeTracePidSpans, tid, ""});
+    }
+  }
+  return events;
+}
+
+std::vector<ChromeTraceEvent> RingTraceEvents(
+    const std::vector<TraceRing::Entry>& entries) {
+  std::vector<ChromeTraceEvent> events;
+  events.reserve(entries.size());
+  for (const TraceRing::Entry& entry : entries) {
+    char args[64];
+    std::snprintf(args, sizeof(args), "{\"a\":%u,\"b\":%u}", entry.a, entry.b);
+    events.push_back(ChromeTraceEvent{ToString(entry.event), "nic", 'i',
+                                      PsToUs(entry.at), 0.0,
+                                      kChromeTracePidRing, entry.a, args});
+  }
+  return events;
+}
+
+std::string RenderChromeTrace(const std::vector<ChromeTraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const ChromeTraceEvent& e : events) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":\"" + e.name + "\",\"cat\":\"" + e.cat + "\",\"ph\":\"";
+    out.push_back(e.ph);
+    out += "\",\"ts\":";
+    AppendDouble(out, e.ts_us);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      AppendDouble(out, e.dur_us);
+    } else if (e.ph == 'i') {
+      out += ",\"s\":\"t\"";  // instant scoped to its thread/track
+    }
+    out += ",\"pid\":" + std::to_string(e.pid);
+    out += ",\"tid\":" + std::to_string(e.tid);
+    if (!e.args_json.empty()) {
+      out += ",\"args\":" + e.args_json;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool EventsNestCorrectly(std::vector<ChromeTraceEvent> events) {
+  // Group per (pid, tid) track; within a track, sort by start ascending and,
+  // on ties, by duration descending so a parent precedes its children. Then
+  // a simple stack walk detects partial overlap.
+  std::sort(events.begin(), events.end(),
+            [](const ChromeTraceEvent& a, const ChromeTraceEvent& b) {
+              if (a.pid != b.pid) return a.pid < b.pid;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;
+            });
+  // Slack far below the 1 ps sim resolution but far above double rounding
+  // error at these magnitudes, so ts+dur vs the next slice's ts never
+  // disagrees spuriously.
+  constexpr double kEps = 1e-9;
+  std::vector<double> ends;  // open slice end times, innermost last
+  uint32_t pid = 0, tid = 0;
+  bool have_track = false;
+  for (const ChromeTraceEvent& e : events) {
+    if (e.ph != 'X') {
+      continue;
+    }
+    if (!have_track || e.pid != pid || e.tid != tid) {
+      ends.clear();
+      pid = e.pid;
+      tid = e.tid;
+      have_track = true;
+    }
+    const double start = e.ts_us;
+    const double end = e.ts_us + e.dur_us;
+    while (!ends.empty() && ends.back() <= start + kEps) {
+      ends.pop_back();
+    }
+    if (!ends.empty() && end > ends.back() + kEps) {
+      return false;  // partial overlap with the enclosing slice
+    }
+    ends.push_back(end);
+  }
+  return true;
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,54 @@
+// Chrome trace-event exporter: turns SpanCollector spans and TraceRing
+// snapshots into the JSON format Perfetto / chrome://tracing load directly
+// ({"traceEvents":[...]} with 'X' complete events and 'i' instants).
+//
+// Each request becomes one track: pid identifies the source (spans vs ring),
+// tid is the low 32 bits of the request id, so concurrent requests never
+// share a track and a span's segment slices nest under its whole-request
+// slice. Timestamps convert from simulated picoseconds to the format's
+// microseconds as doubles, keeping sub-ns resolution.
+#ifndef SRC_STATS_CHROME_TRACE_H_
+#define SRC_STATS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/stats/span.h"
+#include "src/stats/trace.h"
+
+namespace lauberhorn {
+
+struct ChromeTraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';       // 'X' complete (ts+dur) or 'i' instant
+  double ts_us = 0.0;  // microseconds since simulation start
+  double dur_us = 0.0;
+  uint32_t pid = 0;
+  uint32_t tid = 0;
+  std::string args_json;  // pre-rendered JSON object, or empty
+};
+
+inline constexpr uint32_t kChromeTracePidSpans = 1;
+inline constexpr uint32_t kChromeTracePidRing = 2;
+
+// One parent slice per span (wire_rx -> client_rx) plus a child slice per
+// stamped segment. Incomplete spans are skipped (no parent extent).
+std::vector<ChromeTraceEvent> SpanTraceEvents(const SpanCollector& spans);
+
+// Every ring entry as an instant on the endpoint's track.
+std::vector<ChromeTraceEvent> RingTraceEvents(
+    const std::vector<TraceRing::Entry>& entries);
+
+// Serializes events as {"traceEvents":[...]}.
+std::string RenderChromeTrace(const std::vector<ChromeTraceEvent>& events);
+
+// True when, per (pid, tid) track, every 'X' slice either contains or is
+// disjoint from every other (no partial overlap) — i.e. the file will render
+// as properly nested slices. Used by tests and the BRKDN --trace gate.
+bool EventsNestCorrectly(std::vector<ChromeTraceEvent> events);
+
+}  // namespace lauberhorn
+
+#endif  // SRC_STATS_CHROME_TRACE_H_

@@ -1,47 +1,21 @@
 #include "src/stats/histogram.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <cstdio>
 
 namespace lauberhorn {
 
-Histogram::Histogram() : buckets_(64 * kSubBuckets, 0) {}
-
-size_t Histogram::BucketIndex(uint64_t value) {
-  if (value < kSubBuckets) {
-    return static_cast<size_t>(value);
-  }
-  const int msb = 63 - std::countl_zero(value);
-  const int magnitude = msb - kSubBucketBits + 1;
-  // Keep the top kSubBucketBits bits: sub in [kSubBuckets/2, kSubBuckets).
-  const uint64_t sub = value >> magnitude;
-  return static_cast<size_t>(magnitude) * kSubBuckets + static_cast<size_t>(sub);
-}
-
-uint64_t Histogram::BucketLow(size_t index) {
-  const size_t magnitude = index / kSubBuckets;
-  const uint64_t sub = index % kSubBuckets;
-  return sub << magnitude;
-}
-
-uint64_t Histogram::BucketHigh(size_t index) {
-  const size_t magnitude = index / kSubBuckets;
-  return BucketLow(index) + (1ULL << magnitude) - 1;
-}
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
 
 void Histogram::Record(Duration value) {
   if (value < 0) {
     value = 0;
   }
   const auto v = static_cast<uint64_t>(value);
-  const size_t index = BucketIndex(v);
-  if (index < buckets_.size()) {
-    ++buckets_[index];
-  } else {
-    ++buckets_.back();
-  }
+  // BucketIndex(v) < kNumBuckets for every non-negative Duration by
+  // construction (see kNumBuckets), so no overflow clamp is needed.
+  ++buckets_[BucketIndex(v)];
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -50,9 +24,11 @@ void Histogram::Record(Duration value) {
     max_ = std::max(max_, value);
   }
   ++count_;
-  const auto d = static_cast<double>(value);
-  sum_ += d;
-  sum_sq_ += d * d;
+  // Welford's online update: numerically stable for tight distributions at
+  // any offset (e.g. 10k samples of 1 s +/- 1 us in picoseconds).
+  const double d = static_cast<double>(value) - mean_;
+  mean_ += d / static_cast<double>(count_);
+  m2_ += d * (static_cast<double>(value) - mean_);
 }
 
 void Histogram::Merge(const Histogram& other) {
@@ -69,28 +45,31 @@ void Histogram::Merge(const Histogram& other) {
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
   }
+  // Chan et al.'s parallel combination of Welford moments.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  mean_ += delta * nb / n;
   count_ += other.count_;
-  sum_ += other.sum_;
-  sum_sq_ += other.sum_sq_;
 }
 
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   min_ = max_ = 0;
-  sum_ = sum_sq_ = 0.0;
+  mean_ = m2_ = 0.0;
 }
 
-double Histogram::Mean() const {
-  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
-}
+double Histogram::Mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double Histogram::StdDev() const {
   if (count_ == 0) {
     return 0.0;
   }
-  const double mean = Mean();
-  const double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+  // Population standard deviation, matching the pre-Welford behaviour.
+  const double var = m2_ / static_cast<double>(count_);
   return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
@@ -105,10 +84,11 @@ Duration Histogram::Percentile(double q) const {
   for (size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= target && buckets_[i] > 0) {
-      // Clamp to observed extremes for tighter answers at the tails.
-      const auto low = static_cast<Duration>(BucketLow(i));
-      const auto high = static_cast<Duration>(BucketHigh(i));
-      return std::clamp((low + high) / 2, min_, max_);
+      // Clamp to observed extremes for tighter answers at the tails. The
+      // midpoint is computed in uint64 space: the top bucket's bounds sum
+      // past INT64_MAX even though each fits individually.
+      const uint64_t mid = BucketLow(i) / 2 + BucketHigh(i) / 2;
+      return std::clamp(static_cast<Duration>(mid), min_, max_);
     }
   }
   return max_;

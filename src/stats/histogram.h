@@ -7,6 +7,7 @@
 #ifndef SRC_STATS_HISTOGRAM_H_
 #define SRC_STATS_HISTOGRAM_H_
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -14,6 +15,38 @@
 #include "src/sim/time.h"
 
 namespace lauberhorn {
+
+namespace histogram_detail {
+
+// Log-linear bucketing: value magnitudes x 64 linear sub-buckets; the top 32
+// sub-buckets of each magnitude >= 1 are populated, which bounds relative
+// bucket width to 1/32.
+inline constexpr int kSubBucketBits = 6;
+inline constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+constexpr size_t BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int magnitude = msb - kSubBucketBits + 1;
+  // Keep the top kSubBucketBits bits: sub in [kSubBuckets/2, kSubBuckets).
+  const uint64_t sub = value >> magnitude;
+  return static_cast<size_t>(magnitude) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+// Lower/upper bound of the value range covered by bucket i.
+constexpr uint64_t BucketLow(size_t index) {
+  const size_t magnitude = index / kSubBuckets;
+  const uint64_t sub = index % kSubBuckets;
+  return sub << magnitude;
+}
+constexpr uint64_t BucketHigh(size_t index) {
+  const size_t magnitude = index / kSubBuckets;
+  return BucketLow(index) + (1ULL << magnitude) - 1;
+}
+
+}  // namespace histogram_detail
 
 class Histogram {
  public:
@@ -38,24 +71,37 @@ class Histogram {
   // One-line human-readable summary: count/mean/p50/p99/p999/max.
   std::string Summary() const;
 
+  static constexpr size_t BucketIndex(uint64_t value) {
+    return histogram_detail::BucketIndex(value);
+  }
+  static constexpr uint64_t BucketLow(size_t index) {
+    return histogram_detail::BucketLow(index);
+  }
+  static constexpr uint64_t BucketHigh(size_t index) {
+    return histogram_detail::BucketHigh(index);
+  }
+
+  // Record clamps negatives to 0 and Duration is signed 64-bit, so the
+  // largest reachable index comes from INT64_MAX. Sizing the array exactly
+  // makes the top bucket a real, addressable bucket (its high bound is
+  // INT64_MAX itself) rather than relying on an out-of-range clamp.
+  static constexpr size_t kNumBuckets =
+      histogram_detail::BucketIndex(static_cast<uint64_t>(INT64_MAX)) + 1;
+  static_assert(histogram_detail::BucketHigh(
+                    histogram_detail::BucketIndex(
+                        static_cast<uint64_t>(INT64_MAX))) ==
+                static_cast<uint64_t>(INT64_MAX));
+
  private:
-  // Log-linear bucketing: 64 value magnitudes x 64 linear sub-buckets; the
-  // top 32 sub-buckets of each magnitude >= 1 are populated, which bounds
-  // relative bucket width to 1/32.
-  static constexpr int kSubBucketBits = 6;
-  static constexpr int kSubBuckets = 1 << kSubBucketBits;
-
-  static size_t BucketIndex(uint64_t value);
-  // Lower/upper bound of the value range covered by bucket i.
-  static uint64_t BucketLow(size_t index);
-  static uint64_t BucketHigh(size_t index);
-
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   Duration min_ = 0;
   Duration max_ = 0;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  // Welford running moments: sum-of-values and sum-of-squares lose a tight
+  // distribution's variance to cancellation once samples reach ~1e18 (1 s in
+  // picoseconds squared overflows double precision's 53-bit mantissa).
+  double mean_ = 0.0;
+  double m2_ = 0.0;
 };
 
 // Exponentially-weighted moving average; used for the NIC's per-service load

@@ -1,0 +1,94 @@
+#include "src/stats/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lauberhorn {
+namespace {
+
+// Metric names are code-controlled identifiers; escape the few characters
+// that could still break the document rather than a full JSON string escape.
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+double ToNs(double ps) { return ps / 1000.0; }
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    AppendEscaped(out, name);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    AppendEscaped(out, name);
+    out += "\":";
+    AppendDouble(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    AppendEscaped(out, name);
+    out += "\":{\"count\":" + std::to_string(h.count());
+    out += ",\"mean_ns\":";
+    AppendDouble(out, ToNs(h.Mean()));
+    out += ",\"p50_ns\":";
+    AppendDouble(out, ToNs(static_cast<double>(h.P50())));
+    out += ",\"p99_ns\":";
+    AppendDouble(out, ToNs(static_cast<double>(h.P99())));
+    out += ",\"p999_ns\":";
+    AppendDouble(out, ToNs(static_cast<double>(h.P999())));
+    out += ",\"min_ns\":";
+    AppendDouble(out, ToNs(static_cast<double>(h.min())));
+    out += ",\"max_ns\":";
+    AppendDouble(out, ToNs(static_cast<double>(h.max())));
+    out += ",\"stddev_ns\":";
+    AppendDouble(out, ToNs(h.StdDev()));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace lauberhorn

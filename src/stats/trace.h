@@ -47,6 +47,12 @@ class TraceRing {
     if (!enabled_) {
       return;
     }
+    if (capacity_ == 0) {
+      // A zero-capacity ring can hold nothing; count the drop instead of
+      // popping from an empty deque.
+      ++dropped_;
+      return;
+    }
     if (entries_.size() >= capacity_) {
       entries_.pop_front();
       ++dropped_;

@@ -1,0 +1,292 @@
+// Tests for per-request span tracing: SpanCollector stitching semantics, the
+// metrics registry JSON export, the Chrome trace-event exporter, and
+// end-to-end span reconstruction through the Machine on all three stacks.
+#include <gtest/gtest.h>
+
+#include "src/core/machine.h"
+#include "src/stats/chrome_trace.h"
+#include "src/stats/metrics.h"
+#include "src/stats/span.h"
+
+namespace lauberhorn {
+namespace {
+
+// -- SpanCollector -----------------------------------------------------------
+
+TEST(SpanCollectorTest, StitchesAllStagesIntoACompleteSpan) {
+  SpanCollector spans;
+  SimTime t = Microseconds(1);
+  for (size_t i = 0; i < kSpanStageCount; ++i) {
+    spans.Record(7, static_cast<SpanStage>(i), t);
+    t += Nanoseconds(100);
+  }
+  spans.Annotate(7, SpanDispatch::kHot, 3);  // after wire_rx: span is open
+  ASSERT_EQ(spans.completed().size(), 1u);
+  const RequestSpan& span = spans.completed().front();
+  EXPECT_EQ(span.request_id, 7u);
+  EXPECT_TRUE(span.Complete());
+  EXPECT_TRUE(span.Monotonic());
+  EXPECT_EQ(span.Total(), Nanoseconds(700));
+  for (size_t i = 0; i < kSpanSegmentCount; ++i) {
+    EXPECT_EQ(span.Segment(i), Nanoseconds(100)) << SpanSegmentName(i);
+  }
+  EXPECT_EQ(spans.open_count(), 0u);
+  EXPECT_EQ(spans.orphan_marks(), 1u);  // the post-completion Annotate
+}
+
+TEST(SpanCollectorTest, NonWireRxStagesForUnknownIdsAreOrphans) {
+  SpanCollector spans;
+  spans.Record(42, SpanStage::kHandlerStart, Microseconds(1));
+  spans.Record(42, SpanStage::kClientRx, Microseconds(2));
+  EXPECT_EQ(spans.open_count(), 0u);
+  EXPECT_EQ(spans.completed().size(), 0u);
+  EXPECT_EQ(spans.orphan_marks(), 2u);
+}
+
+TEST(SpanCollectorTest, RetransmitKeepsOriginalTimeline) {
+  SpanCollector spans;
+  spans.Record(1, SpanStage::kWireRx, Microseconds(1));
+  spans.Record(1, SpanStage::kWireRx, Microseconds(5));  // retransmit
+  spans.Record(1, SpanStage::kAdmitted, Microseconds(2));
+  spans.Record(1, SpanStage::kAdmitted, Microseconds(6));  // duplicate stamp
+  EXPECT_EQ(spans.reopened(), 1u);
+  ASSERT_EQ(spans.open_count(), 1u);
+  spans.Record(1, SpanStage::kClientRx, Microseconds(9));
+  const RequestSpan& span = spans.completed().front();
+  EXPECT_EQ(span.At(SpanStage::kWireRx), Microseconds(1));
+  EXPECT_EQ(span.At(SpanStage::kAdmitted), Microseconds(2));
+}
+
+TEST(SpanCollectorTest, AnnotateFirstWins) {
+  SpanCollector spans;
+  spans.Record(1, SpanStage::kWireRx, Microseconds(1));
+  spans.Annotate(1, SpanDispatch::kQueued, 4);
+  spans.Annotate(1, SpanDispatch::kCold, 9);  // e.g. a retire-drain re-route
+  spans.Record(1, SpanStage::kClientRx, Microseconds(2));
+  const RequestSpan& span = spans.completed().front();
+  EXPECT_EQ(span.dispatch, SpanDispatch::kQueued);
+  EXPECT_EQ(span.endpoint, 4u);
+}
+
+TEST(SpanCollectorTest, BoundedCompletedRingEvictsOldest) {
+  SpanCollector spans(2);
+  for (uint64_t id = 1; id <= 3; ++id) {
+    spans.Record(id, SpanStage::kWireRx, Microseconds(id));
+    spans.Record(id, SpanStage::kClientRx, Microseconds(id) + Nanoseconds(10));
+  }
+  ASSERT_EQ(spans.completed().size(), 2u);
+  EXPECT_EQ(spans.dropped(), 1u);
+  EXPECT_EQ(spans.completed().front().request_id, 2u);
+  EXPECT_EQ(spans.completed().back().request_id, 3u);
+}
+
+TEST(SpanCollectorTest, CapacityZeroCountsCompletionsAsDropped) {
+  SpanCollector spans(0);
+  spans.Record(1, SpanStage::kWireRx, Microseconds(1));
+  spans.Record(1, SpanStage::kClientRx, Microseconds(2));
+  EXPECT_EQ(spans.completed().size(), 0u);
+  EXPECT_EQ(spans.open_count(), 0u);
+  EXPECT_EQ(spans.dropped(), 1u);
+}
+
+TEST(SpanCollectorTest, PartialSpanIsMonotonicAndAggregatesOnlyItsSegments) {
+  SpanCollector spans;
+  // A shed request: wire_rx -> wire_tx -> client_rx, no handler stages.
+  spans.Record(1, SpanStage::kWireRx, Microseconds(1));
+  spans.Record(1, SpanStage::kWireTx, Microseconds(2));
+  spans.Record(1, SpanStage::kClientRx, Microseconds(3));
+  const RequestSpan& span = spans.completed().front();
+  EXPECT_FALSE(span.Complete());
+  EXPECT_TRUE(span.Monotonic());
+  EXPECT_EQ(span.Total(), Microseconds(2));
+  const auto budget = spans.Aggregate();
+  EXPECT_EQ(budget.total.count(), 1u);
+  EXPECT_EQ(budget.segments[6].count(), 1u);  // "return": wire_tx -> client_rx
+  EXPECT_EQ(budget.segments[0].count(), 0u);  // "ingest" end is unset
+}
+
+// -- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistryTest, ExportsCountersGaugesAndHistograms) {
+  MetricsRegistry metrics;
+  metrics.SetCounter("nic/hot_dispatches", 12);
+  metrics.AddCounter("nic/hot_dispatches", 3);
+  metrics.SetGauge("machine/cycles_per_rpc", 512.25);
+  metrics.Histo("client/rtt").Record(Microseconds(2));
+  metrics.Histo("client/rtt").Record(Microseconds(4));
+  EXPECT_EQ(metrics.Counter("nic/hot_dispatches"), 15u);
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"nic/hot_dispatches\":15"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"machine/cycles_per_rpc\":512.25"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"client/rtt\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  // Values are exported in nanoseconds: mean of 2 us and 4 us is 3000 ns.
+  EXPECT_NE(json.find("\"mean_ns\":3000"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, EscapesAndClears) {
+  MetricsRegistry metrics;
+  metrics.SetCounter("weird\"name\\", 1);
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\\\"name\\\\"), std::string::npos) << json;
+  metrics.Clear();
+  EXPECT_EQ(metrics.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+// -- Chrome trace exporter ---------------------------------------------------
+
+SpanCollector MakeCollectorWithOneSpan() {
+  SpanCollector spans;
+  SimTime t = Microseconds(10);
+  for (size_t i = 0; i < kSpanStageCount; ++i) {
+    spans.Record(99, static_cast<SpanStage>(i), t);
+    t += Nanoseconds(250);
+  }
+  return spans;
+}
+
+TEST(ChromeTraceTest, SpanBecomesParentSliceWithNestedSegments) {
+  const SpanCollector spans = MakeCollectorWithOneSpan();
+  const auto events = SpanTraceEvents(spans);
+  // One whole-request slice + seven segment slices.
+  ASSERT_EQ(events.size(), 1u + kSpanSegmentCount);
+  EXPECT_EQ(events[0].pid, kChromeTracePidSpans);
+  EXPECT_EQ(events[0].tid, 99u);
+  EXPECT_TRUE(EventsNestCorrectly(events));
+  const std::string json = RenderChromeTrace(events);
+  EXPECT_EQ(json.find("{\"traceEvents\":"), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+}
+
+TEST(ChromeTraceTest, IncompleteSpansAreSkipped) {
+  SpanCollector spans;
+  spans.Record(1, SpanStage::kWireRx, Microseconds(1));
+  spans.Record(1, SpanStage::kClientRx, Microseconds(2));  // partial
+  EXPECT_TRUE(SpanTraceEvents(spans).empty());
+}
+
+TEST(ChromeTraceTest, DetectsPartialOverlap) {
+  std::vector<ChromeTraceEvent> events(2);
+  events[0].name = "a";
+  events[0].ts_us = 0.0;
+  events[0].dur_us = 10.0;
+  events[1].name = "b";
+  events[1].ts_us = 5.0;
+  events[1].dur_us = 10.0;  // overlaps [0,10) but is not contained
+  EXPECT_FALSE(EventsNestCorrectly(events));
+  events[1].dur_us = 5.0;  // now nested: [5,10) inside [0,10)
+  EXPECT_TRUE(EventsNestCorrectly(events));
+  events[1].tid = 1;  // different track: overlap is fine
+  events[1].dur_us = 10.0;
+  EXPECT_TRUE(EventsNestCorrectly(events));
+}
+
+TEST(ChromeTraceTest, RingEntriesBecomeInstants) {
+  std::vector<TraceRing::Entry> entries;
+  entries.push_back({Microseconds(1), TraceEvent::kDispatchHot, 3, 77});
+  const auto events = RingTraceEvents(entries);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ph, 'i');
+  EXPECT_EQ(events[0].pid, kChromeTracePidRing);
+  const std::string json = RenderChromeTrace(events);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos) << json;
+}
+
+// -- End-to-end through the Machine ------------------------------------------
+
+class MachineSpanTest : public ::testing::TestWithParam<StackKind> {};
+
+TEST_P(MachineSpanTest, EveryCompletedRequestYieldsACompleteMonotonicSpan) {
+  MachineConfig config;
+  config.stack = GetParam();
+  config.enable_spans = true;
+  Machine machine(config);
+  const ServiceDef& echo =
+      machine.AddService(ServiceRegistry::MakeEchoService(1, 7000));
+  machine.Start();
+  if (GetParam() == StackKind::kLauberhorn) {
+    machine.StartHotLoop(echo);
+  }
+  machine.sim().RunUntil(Milliseconds(1));
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    machine.sim().Schedule(Microseconds(20) * i, [&machine, &echo, &done]() {
+      machine.client().Call(echo, 0,
+                            std::vector<WireValue>{WireValue::Bytes({1, 2})},
+                            [&done](const RpcMessage&, Duration) { ++done; });
+    });
+  }
+  machine.sim().RunUntil(Milliseconds(30));
+  ASSERT_EQ(done, 5);
+  ASSERT_NE(machine.spans(), nullptr);
+  const SpanCollector& spans = *machine.spans();
+  ASSERT_EQ(spans.completed().size(), 5u);
+  for (const RequestSpan& span : spans.completed()) {
+    EXPECT_TRUE(span.Complete()) << "request " << span.request_id;
+    EXPECT_TRUE(span.Monotonic()) << "request " << span.request_id;
+    EXPECT_NE(span.dispatch, SpanDispatch::kUnknown);
+    EXPECT_GT(span.Total(), 0);
+  }
+  // The exporter renders them as a valid nested trace.
+  const auto events = SpanTraceEvents(spans);
+  EXPECT_EQ(events.size(), 5u * (1 + kSpanSegmentCount));
+  EXPECT_TRUE(EventsNestCorrectly(events));
+  // And the metrics snapshot sees the same spans.
+  MetricsRegistry metrics;
+  machine.ExportMetrics(metrics);
+  EXPECT_EQ(metrics.Counter("span/completed"), 5u);
+  EXPECT_EQ(metrics.Counter("client/completed"), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, MachineSpanTest,
+                         ::testing::Values(StackKind::kLinux, StackKind::kBypass,
+                                           StackKind::kLauberhorn),
+                         [](const auto& info) { return ToString(info.param); });
+
+TEST(MachineSpanTest, DisabledByDefaultAndNoCollectorMeansNoSpans) {
+  MachineConfig config;
+  config.stack = StackKind::kLauberhorn;
+  Machine machine(config);
+  const ServiceDef& echo =
+      machine.AddService(ServiceRegistry::MakeEchoService(1, 7000));
+  machine.Start();
+  machine.StartHotLoop(echo);
+  machine.sim().RunUntil(Milliseconds(1));
+  EXPECT_EQ(machine.spans(), nullptr);
+  int done = 0;
+  machine.client().Call(echo, 0,
+                        std::vector<WireValue>{WireValue::Bytes({1})},
+                        [&done](const RpcMessage&, Duration) { ++done; });
+  machine.sim().RunUntil(Milliseconds(30));
+  EXPECT_EQ(done, 1);
+  MetricsRegistry metrics;
+  machine.ExportMetrics(metrics);
+  EXPECT_FALSE(metrics.HasCounter("span/completed"));
+}
+
+TEST(MachineSpanTest, LauberhornColdPathAlsoCompletesSpans) {
+  MachineConfig config;
+  config.stack = StackKind::kLauberhorn;
+  config.enable_spans = true;
+  Machine machine(config);
+  const ServiceDef& echo =
+      machine.AddService(ServiceRegistry::MakeEchoService(1, 7000));
+  machine.Start();
+  machine.sim().RunUntil(Milliseconds(1));  // no hot loop: requests go cold
+  int done = 0;
+  machine.client().Call(echo, 0,
+                        std::vector<WireValue>{WireValue::Bytes({1, 2})},
+                        [&done](const RpcMessage&, Duration) { ++done; });
+  machine.sim().RunUntil(Milliseconds(30));
+  ASSERT_EQ(done, 1);
+  ASSERT_EQ(machine.spans()->completed().size(), 1u);
+  const RequestSpan& span = machine.spans()->completed().front();
+  EXPECT_TRUE(span.Complete());
+  EXPECT_TRUE(span.Monotonic());
+  EXPECT_EQ(span.dispatch, SpanDispatch::kCold);
+}
+
+}  // namespace
+}  // namespace lauberhorn

@@ -1,9 +1,12 @@
-// Tests for histograms, EWMA, and table rendering.
+// Tests for histograms, EWMA, trace rings, and table rendering.
 #include <gtest/gtest.h>
+
+#include <limits>
 
 #include "src/sim/random.h"
 #include "src/stats/histogram.h"
 #include "src/stats/table.h"
+#include "src/stats/trace.h"
 
 namespace lauberhorn {
 namespace {
@@ -60,6 +63,70 @@ TEST(HistogramTest, MeanAndStdDev) {
   EXPECT_NEAR(h.StdDev(), static_cast<double>(Nanoseconds(82)), static_cast<double>(Nanoseconds(1)));
 }
 
+TEST(HistogramTest, StdDevSurvivesLargeOffsets) {
+  // 10k samples at 1 s ± 1 µs, in picoseconds. A sum-of-squares running
+  // estimator accumulates ~1e28 here, past double's 53-bit mantissa, and the
+  // final subtraction cancels catastrophically (σ came out 0 or NaN).
+  // Welford's update keeps full precision at any offset.
+  Histogram h;
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(Seconds(1) + Microseconds(1));
+    h.Record(Seconds(1) - Microseconds(1));
+  }
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_NEAR(h.Mean(), static_cast<double>(Seconds(1)), 1.0);
+  EXPECT_NEAR(h.StdDev(), static_cast<double>(Microseconds(1)),
+              0.001 * static_cast<double>(Microseconds(1)));
+}
+
+TEST(HistogramTest, MergeCombinesVariance) {
+  // Each input has zero variance; Chan's parallel-merge formula must
+  // recover the between-population spread: σ of {100ns × 1000, 300ns × 1000}
+  // is exactly 100 ns.
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 1000; ++i) {
+    a.Record(Nanoseconds(100));
+    b.Record(Nanoseconds(300));
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Mean(), static_cast<double>(Nanoseconds(200)));
+  EXPECT_NEAR(a.StdDev(), static_cast<double>(Nanoseconds(100)),
+              0.001 * static_cast<double>(Nanoseconds(100)));
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsOther) {
+  Histogram a;
+  Histogram b;
+  b.Record(Nanoseconds(100));
+  b.Record(Nanoseconds(300));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+  EXPECT_DOUBLE_EQ(a.StdDev(), b.StdDev());
+  EXPECT_EQ(a.min(), Nanoseconds(100));
+  EXPECT_EQ(a.max(), Nanoseconds(300));
+}
+
+TEST(HistogramTest, TopBucketCoversInt64Max) {
+  // The bucket table ends exactly at INT64_MAX: recording the largest
+  // Duration must land in the last bucket (no out-of-range clamp needed),
+  // and Percentile's bucket-midpoint math must not overflow int64 even
+  // though low + high of the top bucket exceeds it.
+  const Duration huge = std::numeric_limits<Duration>::max();
+  EXPECT_EQ(Histogram::BucketIndex(static_cast<uint64_t>(huge)),
+            Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketHigh(Histogram::kNumBuckets - 1),
+            static_cast<uint64_t>(huge));
+  Histogram h;
+  h.Record(huge);
+  h.Record(huge - 1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), huge);
+  EXPECT_GE(h.Percentile(0.5), h.min());
+  EXPECT_LE(h.Percentile(0.99), huge);
+}
+
 TEST(HistogramTest, MergeCombinesPopulations) {
   Histogram a;
   Histogram b;
@@ -114,6 +181,54 @@ TEST_P(HistogramPropertyTest, PercentileMatchesSortedSample) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
                          ::testing::Values(3, 7, 31, 127, 8191));
+
+TEST(TraceRingTest, CapacityZeroCountsDropsWithoutStoring) {
+  // Regression: Emit on a zero-capacity ring used to pop_front an empty
+  // deque (UB) because size() >= capacity_ held vacuously.
+  TraceRing ring(0);
+  ring.Emit(1, TraceEvent::kWireRx, 1, 2);
+  ring.Emit(2, TraceEvent::kWireTx, 1, 2);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_TRUE(ring.ForEndpoint(1).empty());
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestAndCountsDropped) {
+  TraceRing ring(4);
+  for (uint32_t i = 0; i < 10; ++i) {
+    ring.Emit(static_cast<SimTime>(i), TraceEvent::kWireRx, i % 2, i);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto entries = ring.Snapshot();
+  ASSERT_EQ(entries.size(), 4u);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].b, 6u + i);  // oldest survivor is entry #6
+    EXPECT_EQ(entries[i].at, static_cast<SimTime>(6 + i));
+  }
+}
+
+TEST(TraceRingTest, ForEndpointStaysOrderedAfterWrap) {
+  TraceRing ring(4);
+  for (uint32_t i = 0; i < 12; ++i) {
+    ring.Emit(static_cast<SimTime>(i) * 10, TraceEvent::kDispatchHot, i % 3, i);
+  }
+  // Surviving window is entries 8..11; endpoint 2 emitted entries 8 and 11.
+  const auto entries = ring.ForEndpoint(2);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].b, 8u);
+  EXPECT_EQ(entries[1].b, 11u);
+  EXPECT_LT(entries[0].at, entries[1].at);
+}
+
+TEST(TraceRingTest, DisabledRingIgnoresEmit) {
+  TraceRing ring(4);
+  ring.set_enabled(false);
+  ring.Emit(1, TraceEvent::kWireRx, 0, 0);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
 
 TEST(EwmaTest, FirstSampleInitializes) {
   Ewma e(0.1);
