@@ -1,0 +1,98 @@
+#include "src/cluster/directory.h"
+
+#include <cassert>
+
+namespace lauberhorn {
+
+std::string ToString(PlacementKind placement) {
+  switch (placement) {
+    case PlacementKind::kHotUserPoll:
+      return "hot-user-poll";
+    case PlacementKind::kColdKernel:
+      return "cold-kernel";
+  }
+  return "?";
+}
+
+std::function<size_t()> MakeLauberhornDepthProbe(Machine& machine,
+                                                 const ServiceDef& service) {
+  LauberhornNic* nic = machine.lauberhorn_nic();
+  if (nic == nullptr) {
+    return nullptr;
+  }
+  std::vector<uint32_t> endpoints = machine.EndpointsOf(service);
+  return [nic, endpoints = std::move(endpoints)]() -> size_t {
+    size_t depth = nic->ColdQueueDepth();
+    for (uint32_t ep : endpoints) {
+      depth += nic->QueueDepth(ep);
+    }
+    return depth;
+  };
+}
+
+size_t ServiceDirectory::AddReplica(uint32_t service_id, ReplicaInfo info) {
+  std::vector<Replica>& set = services_[service_id];
+  Replica replica;
+  replica.info = std::move(info);
+  set.push_back(std::move(replica));
+  return set.size() - 1;
+}
+
+size_t ServiceDirectory::NumReplicas(uint32_t service_id) const {
+  auto it = services_.find(service_id);
+  return it == services_.end() ? 0 : it->second.size();
+}
+
+const ServiceDirectory::Replica& ServiceDirectory::replica(
+    uint32_t service_id, size_t index) const {
+  auto it = services_.find(service_id);
+  assert(it != services_.end() && index < it->second.size());
+  return it->second[index];
+}
+
+ServiceDirectory::Replica& ServiceDirectory::replica(uint32_t service_id,
+                                                     size_t index) {
+  auto it = services_.find(service_id);
+  assert(it != services_.end() && index < it->second.size());
+  return it->second[index];
+}
+
+std::vector<size_t> ServiceDirectory::Resolve(uint32_t service_id,
+                                              SimTime now) {
+  ++stats_.resolutions;
+  std::vector<size_t> eligible;
+  auto it = services_.find(service_id);
+  if (it == services_.end()) {
+    return eligible;
+  }
+  eligible.reserve(it->second.size());
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    const Replica& r = it->second[i];
+    if (r.up || now >= r.down_until) {
+      eligible.push_back(i);
+    }
+  }
+  return eligible;
+}
+
+void ServiceDirectory::MarkDown(uint32_t service_id, size_t index,
+                                SimTime until) {
+  Replica& r = replica(service_id, index);
+  if (r.up) {
+    ++stats_.marked_down;
+  }
+  r.up = false;
+  r.down_until = until;
+}
+
+void ServiceDirectory::MarkUp(uint32_t service_id, size_t index) {
+  Replica& r = replica(service_id, index);
+  if (!r.up) {
+    ++stats_.marked_up;
+  }
+  r.up = true;
+  r.down_until = 0;
+  r.timeout_streak = 0;
+}
+
+}  // namespace lauberhorn

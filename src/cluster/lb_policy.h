@@ -1,0 +1,113 @@
+// Pluggable load-balancing policies for the cluster dispatch plane.
+//
+// A policy picks one replica out of the directory's eligible set for each
+// request. Three strategies ship:
+//
+//   RoundRobinPolicy     — per-service rotation; the baseline spreader.
+//   ConsistentHashPolicy — virtual-node hash ring keyed by the request's
+//                          shard key; stable assignment under membership
+//                          churn (only keys owned by a downed replica move).
+//   LeastLoadedPolicy    — scores replicas from the overload signals PR-3
+//                          exposed: edge-observed in-flight count, a
+//                          decaying kOverloaded push-back score, and the
+//                          NIC-exported admission-queue depth probe. The
+//                          NIC is the first to know it is overloaded (it
+//                          runs the admission queues); exporting that signal
+//                          to the cluster plane is the NIC-as-OS argument
+//                          applied across machines.
+#ifndef SRC_CLUSTER_LB_POLICY_H_
+#define SRC_CLUSTER_LB_POLICY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/directory.h"
+
+namespace lauberhorn {
+
+class LbPolicy {
+ public:
+  virtual ~LbPolicy() = default;
+  virtual std::string name() const = 0;
+  // Picks a replica index out of `candidates` (non-empty, ascending replica
+  // indices into directory.replica(service_id, *)). `shard_key` carries the
+  // request's affinity key (0 when the caller has none).
+  virtual size_t Pick(const ServiceDirectory& directory, uint32_t service_id,
+                      const std::vector<size_t>& candidates,
+                      uint64_t shard_key, SimTime now) = 0;
+};
+
+class RoundRobinPolicy : public LbPolicy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  size_t Pick(const ServiceDirectory& directory, uint32_t service_id,
+              const std::vector<size_t>& candidates, uint64_t shard_key,
+              SimTime now) override;
+
+ private:
+  std::unordered_map<uint32_t, uint64_t> next_;  // per-service cursor
+};
+
+class ConsistentHashPolicy : public LbPolicy {
+ public:
+  // More virtual nodes = smoother key spread at the cost of ring size.
+  explicit ConsistentHashPolicy(int vnodes_per_replica = 64)
+      : vnodes_(vnodes_per_replica) {}
+
+  std::string name() const override { return "consistent-hash"; }
+  size_t Pick(const ServiceDirectory& directory, uint32_t service_id,
+              const std::vector<size_t>& candidates, uint64_t shard_key,
+              SimTime now) override;
+
+ private:
+  // Ring over ALL replicas of the service (built once per set size); a
+  // candidate filter is applied at lookup so downed replicas shed only
+  // their own keys.
+  struct Ring {
+    size_t built_for = 0;                  // replica count the ring covers
+    std::map<uint64_t, size_t> points;     // hash point -> replica index
+  };
+  Ring& RingFor(uint32_t service_id, size_t num_replicas);
+
+  int vnodes_;
+  std::unordered_map<uint32_t, Ring> rings_;
+};
+
+class LeastLoadedPolicy : public LbPolicy {
+ public:
+  struct Weights {
+    double outstanding = 1.0;     // edge-observed in-flight requests
+    double overload_score = 4.0;  // decayed kOverloaded replies
+    double queue_depth = 0.5;     // NIC admission-queue probe
+    // Decay half-life for the overload score (applied by ClusterClient on
+    // update; the policy just reads the decayed value).
+    // Cold-kernel placement penalty: nudges ties toward hot-user-poll
+    // replicas, which serve with near-zero dispatch cost.
+    double cold_penalty = 0.25;
+  };
+
+  LeastLoadedPolicy() : weights_() {}
+  explicit LeastLoadedPolicy(Weights weights) : weights_(weights) {}
+
+  std::string name() const override { return "least-loaded"; }
+  size_t Pick(const ServiceDirectory& directory, uint32_t service_id,
+              const std::vector<size_t>& candidates, uint64_t shard_key,
+              SimTime now) override;
+
+  // Score a single replica (exposed for tests).
+  double Score(const ServiceDirectory::Replica& replica) const;
+
+ private:
+  Weights weights_;
+  uint64_t tie_breaker_ = 0;  // rotates among equally-scored replicas
+};
+
+// Stateless 64-bit mix used by the hash ring (splitmix64 finalizer).
+uint64_t MixHash64(uint64_t x);
+
+}  // namespace lauberhorn
+
+#endif  // SRC_CLUSTER_LB_POLICY_H_

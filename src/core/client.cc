@@ -14,6 +14,7 @@ RpcClient::RpcClient(Simulator& sim, LinkDirection& to_server, Config config)
       to_server_(to_server),
       config_(config),
       rng_(config.seed),
+      next_request_id_((static_cast<uint64_t>(config.client_index) << 40) | 1),
       retry_tokens_(config.retry_budget_burst) {}
 
 uint64_t RpcClient::Call(const ServiceDef& service, uint16_t method_id,
@@ -33,10 +34,18 @@ uint64_t RpcClient::Call(const ServiceDef& service, uint16_t method_id,
 
 uint64_t RpcClient::CallRaw(uint16_t dst_port, uint32_t service_id, uint16_t method_id,
                             std::vector<uint8_t> payload, ResponseFn on_done) {
+  return CallRawTo(config_.server_ip, dst_port, service_id, method_id,
+                   std::move(payload), std::move(on_done));
+}
+
+uint64_t RpcClient::CallRawTo(uint32_t dst_ip, uint16_t dst_port,
+                              uint32_t service_id, uint16_t method_id,
+                              std::vector<uint8_t> payload, ResponseFn on_done) {
   const uint64_t request_id = next_request_id_++;
   Pending pending;
   pending.sent_at = sim_.Now();
   pending.on_done = std::move(on_done);
+  pending.dst_ip = dst_ip;
   pending.dst_port = dst_port;
   pending.service_id = service_id;
   pending.method_id = method_id;
@@ -68,7 +77,7 @@ void RpcClient::SendFrame(uint64_t request_id, const Pending& pending) {
   eth.dst = config_.server_mac;
   Ipv4Header ip;
   ip.src = config_.client_ip;
-  ip.dst = config_.server_ip;
+  ip.dst = pending.dst_ip != 0 ? pending.dst_ip : config_.server_ip;
   UdpHeader udp;
   // Spread flows over source ports so RSS distributes queues.
   udp.src_port = static_cast<uint16_t>(config_.base_src_port + (request_id % 1024));

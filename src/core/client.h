@@ -34,6 +34,12 @@ class RpcClient : public PacketSink {
   struct Config {
     uint32_t client_ip = MakeIpv4(10, 0, 0, 1);
     uint32_t server_ip = MakeIpv4(10, 0, 0, 2);
+    // Seeds the request-id space at (client_index << 40) | 1 so every client
+    // in a multi-machine testbed draws from a disjoint id range — span
+    // stitching, server arrival maps, and dedup keys stay collision-free
+    // cluster-wide. Nested-RPC ids set bit 63, so indices below 2^23 can
+    // never collide with those either.
+    uint32_t client_index = 0;
     uint16_t base_src_port = 40000;
     MacAddress client_mac = {0x02, 0, 0, 0, 0, 0x01};
     MacAddress server_mac = {0x02, 0, 0, 0, 0, 0x02};
@@ -85,6 +91,14 @@ class RpcClient : public PacketSink {
   uint64_t CallRaw(uint16_t dst_port, uint32_t service_id, uint16_t method_id,
                    std::vector<uint8_t> payload, ResponseFn on_done = nullptr);
 
+  // Explicit-destination variant for cluster dispatch (src/cluster): the
+  // request goes to `dst_ip` instead of the configured server, and
+  // retransmits stay pinned to that destination (the server-side dedup cache
+  // is per machine, so a retry must not wander).
+  uint64_t CallRawTo(uint32_t dst_ip, uint16_t dst_port, uint32_t service_id,
+                     uint16_t method_id, std::vector<uint8_t> payload,
+                     ResponseFn on_done = nullptr);
+
   void ReceivePacket(Packet packet) override;
 
   // RTT histogram of *admitted* requests (kOverloaded replies are excluded —
@@ -116,6 +130,7 @@ class RpcClient : public PacketSink {
     SimTime sent_at = 0;
     ResponseFn on_done;
     // For retransmission.
+    uint32_t dst_ip = 0;
     uint16_t dst_port = 0;
     uint32_t service_id = 0;
     uint16_t method_id = 0;

@@ -140,6 +140,7 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
 
       LauberhornRuntime::Config runtime_config = config_.runtime;
       runtime_config.dma_region_base = kDmaRegionBase;
+      runtime_config.machine_index = config_.machine_index;
       if (runtime_config.dispatcher_threads <= 0) {
         runtime_config.dispatcher_threads = config_.num_cores;
       }
@@ -152,6 +153,7 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
   RpcClient::Config client_config;
   client_config.client_ip = config_.client_ip;
   client_config.server_ip = config_.server_ip;
+  client_config.client_index = config_.machine_index;
   client_config.retransmit_timeout = config_.client_retransmit_timeout;
   client_config.max_retransmits = config_.client_max_retransmits;
   client_config.backoff_multiplier = config_.client_backoff_multiplier;
@@ -311,108 +313,115 @@ void Machine::ResetMeasurement() {
   rpcs_at_reset_ = server_rpcs_;
 }
 
-void Machine::ExportMetrics(MetricsRegistry& metrics) const {
-  metrics.SetCounter("client/sent", client_->sent());
-  metrics.SetCounter("client/completed", client_->completed());
-  metrics.SetCounter("client/errors", client_->errors());
-  metrics.SetCounter("client/retransmits", client_->retransmits());
-  metrics.SetCounter("client/retransmits_suppressed",
-                     client_->retransmits_suppressed());
-  metrics.SetCounter("client/timeouts", client_->timeouts());
-  metrics.SetCounter("client/late_responses", client_->late_responses());
-  metrics.SetCounter("client/overloaded", client_->overloaded());
-  metrics.SetCounter("client/breaker_openings", client_->breaker_openings());
-  metrics.Histo("client/rtt").Merge(client_->rtt());
+void Machine::ExportMetrics(MetricsRegistry& metrics,
+                            const std::string& prefix) const {
+  const auto C = [&](const char* name, uint64_t value) {
+    metrics.SetCounter(prefix + name, value);
+  };
+  const auto G = [&](const char* name, double value) {
+    metrics.SetGauge(prefix + name, value);
+  };
+  const auto H = [&](const std::string& name) -> Histogram& {
+    return metrics.Histo(prefix + name);
+  };
 
-  metrics.SetCounter("machine/server_rpcs", server_rpcs_);
-  metrics.SetGauge("machine/cycles_per_rpc", CyclesPerRpc());
-  metrics.SetGauge("machine/busy_time_us",
-                   static_cast<double>(TotalBusyTime()) /
-                       static_cast<double>(Microseconds(1)));
-  metrics.Histo("machine/end_system_latency").Merge(end_system_);
+  C("client/sent", client_->sent());
+  C("client/completed", client_->completed());
+  C("client/errors", client_->errors());
+  C("client/retransmits", client_->retransmits());
+  C("client/retransmits_suppressed", client_->retransmits_suppressed());
+  C("client/timeouts", client_->timeouts());
+  C("client/late_responses", client_->late_responses());
+  C("client/overloaded", client_->overloaded());
+  C("client/breaker_openings", client_->breaker_openings());
+  H("client/rtt").Merge(client_->rtt());
+
+  C("machine/server_rpcs", server_rpcs_);
+  G("machine/cycles_per_rpc", CyclesPerRpc());
+  G("machine/busy_time_us", static_cast<double>(TotalBusyTime()) /
+                                static_cast<double>(Microseconds(1)));
+  H("machine/end_system_latency").Merge(end_system_);
+
+  // Fabric-facing wire counters: what this machine offered to (and dropped
+  // on) its own egress queues, visible even outside a testbed.
+  C("wire/client_egress_packets", wire_->a_to_b().packets_sent());
+  C("wire/client_egress_queue_drops", wire_->a_to_b().queue_drops());
+  C("wire/nic_egress_packets", wire_->b_to_a().packets_sent());
+  C("wire/nic_egress_queue_drops", wire_->b_to_a().queue_drops());
 
   if (lauberhorn_nic_ != nullptr) {
     const LauberhornNic::Stats& s = lauberhorn_nic_->stats();
-    metrics.SetCounter("nic/hot_dispatches", s.hot_dispatches);
-    metrics.SetCounter("nic/queued_dispatches", s.queued_dispatches);
-    metrics.SetCounter("nic/cold_dispatches", s.cold_dispatches);
-    metrics.SetCounter("nic/cold_queued", s.cold_queued);
-    metrics.SetCounter("nic/tryagains", s.tryagains);
-    metrics.SetCounter("nic/retires", s.retires);
-    metrics.SetCounter("nic/responses_sent", s.responses_sent);
-    metrics.SetCounter("nic/dma_fallback_rx", s.dma_fallback_rx);
-    metrics.SetCounter("nic/dma_fallback_tx", s.dma_fallback_tx);
-    metrics.SetCounter("nic/dup_drops_in_flight", s.dup_drops_in_flight);
-    metrics.SetCounter("nic/dup_replays", s.dup_replays);
-    metrics.SetCounter("nic/degradations", s.degradations);
-    metrics.SetCounter("overload/sheds_queue", s.requests_shed_queue);
-    metrics.SetCounter("overload/sheds_quota", s.requests_shed_quota);
-    metrics.SetCounter("overload/sheds_sojourn", s.requests_shed_sojourn);
+    C("nic/hot_dispatches", s.hot_dispatches);
+    C("nic/queued_dispatches", s.queued_dispatches);
+    C("nic/cold_dispatches", s.cold_dispatches);
+    C("nic/cold_queued", s.cold_queued);
+    C("nic/tryagains", s.tryagains);
+    C("nic/retires", s.retires);
+    C("nic/responses_sent", s.responses_sent);
+    C("nic/dma_fallback_rx", s.dma_fallback_rx);
+    C("nic/dma_fallback_tx", s.dma_fallback_tx);
+    C("nic/dup_drops_in_flight", s.dup_drops_in_flight);
+    C("nic/dup_replays", s.dup_replays);
+    C("nic/degradations", s.degradations);
+    C("overload/sheds_queue", s.requests_shed_queue);
+    C("overload/sheds_quota", s.requests_shed_quota);
+    C("overload/sheds_sojourn", s.requests_shed_sojourn);
   }
   if (lauberhorn_runtime_ != nullptr) {
-    metrics.SetCounter("runtime/rpcs_hot", lauberhorn_runtime_->rpcs_hot());
-    metrics.SetCounter("runtime/rpcs_cold", lauberhorn_runtime_->rpcs_cold());
-    metrics.SetCounter("runtime/loops_started",
-                       lauberhorn_runtime_->loops_started());
-    metrics.SetCounter("runtime/loops_exited",
-                       lauberhorn_runtime_->loops_exited());
-    metrics.SetCounter("runtime/nested_issued",
-                       lauberhorn_runtime_->nested_issued());
-    metrics.SetCounter("overload/scale_suppressed",
-                       lauberhorn_runtime_->scale_suppressed());
+    C("runtime/rpcs_hot", lauberhorn_runtime_->rpcs_hot());
+    C("runtime/rpcs_cold", lauberhorn_runtime_->rpcs_cold());
+    C("runtime/loops_started", lauberhorn_runtime_->loops_started());
+    C("runtime/loops_exited", lauberhorn_runtime_->loops_exited());
+    C("runtime/nested_issued", lauberhorn_runtime_->nested_issued());
+    C("overload/scale_suppressed", lauberhorn_runtime_->scale_suppressed());
   }
   if (linux_stack_ != nullptr) {
-    metrics.SetCounter("linux/rpcs_completed", linux_stack_->rpcs_completed());
-    metrics.SetCounter("linux/bad_requests", linux_stack_->bad_requests());
-    metrics.SetCounter("linux/dup_drops_in_flight",
-                       linux_stack_->dup_drops_in_flight());
-    metrics.SetCounter("linux/dup_replays", linux_stack_->dup_replays());
-    metrics.SetCounter("overload/sheds_queue", linux_stack_->sheds_queue());
-    metrics.SetCounter("overload/sheds_quota", linux_stack_->sheds_quota());
-    metrics.SetCounter("overload/sheds_sojourn", linux_stack_->sheds_sojourn());
-    metrics.SetGauge("overload/shed_cpu_us",
-                     static_cast<double>(linux_stack_->shed_cpu_time()) /
-                         static_cast<double>(Microseconds(1)));
+    C("linux/rpcs_completed", linux_stack_->rpcs_completed());
+    C("linux/bad_requests", linux_stack_->bad_requests());
+    C("linux/dup_drops_in_flight", linux_stack_->dup_drops_in_flight());
+    C("linux/dup_replays", linux_stack_->dup_replays());
+    C("overload/sheds_queue", linux_stack_->sheds_queue());
+    C("overload/sheds_quota", linux_stack_->sheds_quota());
+    C("overload/sheds_sojourn", linux_stack_->sheds_sojourn());
+    G("overload/shed_cpu_us", static_cast<double>(linux_stack_->shed_cpu_time()) /
+                                  static_cast<double>(Microseconds(1)));
   }
   if (bypass_ != nullptr) {
-    metrics.SetCounter("bypass/rpcs_completed", bypass_->rpcs_completed());
-    metrics.SetCounter("bypass/bad_requests", bypass_->bad_requests());
-    metrics.SetCounter("bypass/empty_polls", bypass_->empty_polls());
-    metrics.SetCounter("bypass/dup_drops_in_flight",
-                       bypass_->dup_drops_in_flight());
-    metrics.SetCounter("bypass/dup_replays", bypass_->dup_replays());
-    metrics.SetCounter("overload/sheds_queue", bypass_->sheds_queue());
-    metrics.SetCounter("overload/sheds_quota", bypass_->sheds_quota());
-    metrics.SetCounter("overload/sheds_sojourn", bypass_->sheds_sojourn());
-    metrics.SetGauge("overload/shed_cpu_us",
-                     static_cast<double>(bypass_->shed_cpu_time()) /
-                         static_cast<double>(Microseconds(1)));
+    C("bypass/rpcs_completed", bypass_->rpcs_completed());
+    C("bypass/bad_requests", bypass_->bad_requests());
+    C("bypass/empty_polls", bypass_->empty_polls());
+    C("bypass/dup_drops_in_flight", bypass_->dup_drops_in_flight());
+    C("bypass/dup_replays", bypass_->dup_replays());
+    C("overload/sheds_queue", bypass_->sheds_queue());
+    C("overload/sheds_quota", bypass_->sheds_quota());
+    C("overload/sheds_sojourn", bypass_->sheds_sojourn());
+    G("overload/shed_cpu_us", static_cast<double>(bypass_->shed_cpu_time()) /
+                                  static_cast<double>(Microseconds(1)));
   }
   if (faults_ != nullptr) {
     const FaultInjector::Stats& f = faults_->stats();
-    metrics.SetCounter("fault/net_drops", f.net_drops);
-    metrics.SetCounter("fault/net_duplicates", f.net_duplicates);
-    metrics.SetCounter("fault/net_reorders", f.net_reorders);
-    metrics.SetCounter("fault/net_corruptions", f.net_corruptions);
-    metrics.SetCounter("fault/coherence_fill_delays", f.coherence_fill_delays);
-    metrics.SetCounter("fault/coherence_fill_drops", f.coherence_fill_drops);
-    metrics.SetCounter("fault/iommu_faults", f.iommu_faults);
-    metrics.SetCounter("fault/dma_errors", f.dma_errors);
-    metrics.SetCounter("fault/os_crashes", f.os_crashes);
-    metrics.SetCounter("fault/nic_wedges", f.nic_wedges);
+    C("fault/net_drops", f.net_drops);
+    C("fault/net_duplicates", f.net_duplicates);
+    C("fault/net_reorders", f.net_reorders);
+    C("fault/net_corruptions", f.net_corruptions);
+    C("fault/coherence_fill_delays", f.coherence_fill_delays);
+    C("fault/coherence_fill_drops", f.coherence_fill_drops);
+    C("fault/iommu_faults", f.iommu_faults);
+    C("fault/dma_errors", f.dma_errors);
+    C("fault/os_crashes", f.os_crashes);
+    C("fault/nic_wedges", f.nic_wedges);
   }
   if (spans_ != nullptr) {
-    metrics.SetCounter("span/completed", spans_->completed().size());
-    metrics.SetCounter("span/open", spans_->open_count());
-    metrics.SetCounter("span/dropped", spans_->dropped());
-    metrics.SetCounter("span/orphan_marks", spans_->orphan_marks());
-    metrics.SetCounter("span/reopened", spans_->reopened());
+    C("span/completed", spans_->completed().size());
+    C("span/open", spans_->open_count());
+    C("span/dropped", spans_->dropped());
+    C("span/orphan_marks", spans_->orphan_marks());
+    C("span/reopened", spans_->reopened());
     const SpanCollector::StageBudget budget = spans_->Aggregate();
     for (size_t i = 0; i < kSpanSegmentCount; ++i) {
-      metrics.Histo(std::string("span/seg_") + SpanSegmentName(i))
-          .Merge(budget.segments[i]);
+      H(std::string("span/seg_") + SpanSegmentName(i)).Merge(budget.segments[i]);
     }
-    metrics.Histo("span/total").Merge(budget.total);
+    H("span/total").Merge(budget.total);
   }
 }
 

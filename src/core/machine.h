@@ -59,6 +59,10 @@ struct MachineConfig {
   // L3 identities (distinct per machine in multi-machine testbeds).
   uint32_t server_ip = MakeIpv4(10, 0, 0, 2);
   uint32_t client_ip = MakeIpv4(10, 0, 0, 1);
+  // Position in a multi-machine testbed (Testbed::AddMachine sets it).
+  // Seeds the client's request-id space and the runtime's nested-RPC id
+  // space so ids never collide cluster-wide.
+  uint32_t machine_index = 0;
   // DMA-NIC stacks: queue count; bypass dedicates cores[0..queues).
   uint32_t nic_queues = 2;
   // RX/TX descriptor ring entries and device RX FIFO depth for the DMA NIC
@@ -172,8 +176,11 @@ class Machine {
 
   // Snapshots every subsystem's counters/latencies into `metrics` under
   // "subsystem/name" keys (client, machine, the active stack, faults, spans).
-  // Pull-style: call once after a run; nothing is maintained on the data path.
-  void ExportMetrics(MetricsRegistry& metrics) const;
+  // Pull-style: call once after a run; nothing is maintained on the data
+  // path. `prefix` namespaces the keys ("m0/client/sent", ...) so testbeds
+  // can export several machines into one registry.
+  void ExportMetrics(MetricsRegistry& metrics,
+                     const std::string& prefix = "") const;
 
  private:
   void HookLatencyTracking();

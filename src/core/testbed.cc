@@ -1,6 +1,7 @@
 #include "src/core/testbed.h"
 
 #include <cassert>
+#include <string>
 
 namespace lauberhorn {
 
@@ -8,11 +9,16 @@ Machine& Testbed::AddMachine(MachineConfig config) {
   const auto index = static_cast<uint8_t>(machines_.size());
   config.server_ip = MakeIpv4(10, 0, index, 2);
   config.client_ip = MakeIpv4(10, 0, index, 1);
+  config.machine_index = index;
   machines_.push_back(std::make_unique<Machine>(std::move(config), &sim_));
   Machine& machine = *machines_.back();
 
-  // NIC egress now feeds the switch instead of the machine's own client.
+  // Both wire egresses feed the switch: the NIC side so responses and nested
+  // RPCs route by destination ip, and the client side so a cluster client
+  // can address any machine's services (its own included — local traffic
+  // takes one switch hop like everything else).
   machine.wire().b_to_a().set_sink(&switch_);
+  machine.wire().a_to_b().set_sink(&switch_);
   switch_.Register(machine.config().client_ip, &machine.client());
   PacketSink* nic_sink = nullptr;
   if (machine.lauberhorn_nic() != nullptr) {
@@ -23,6 +29,13 @@ Machine& Testbed::AddMachine(MachineConfig config) {
   assert(nic_sink != nullptr);
   switch_.Register(machine.config().server_ip, nic_sink);
   return machine;
+}
+
+void Testbed::ExportMetrics(MetricsRegistry& metrics) const {
+  for (size_t i = 0; i < machines_.size(); ++i) {
+    machines_[i]->ExportMetrics(metrics, "m" + std::to_string(i) + "/");
+  }
+  switch_.ExportMetrics(metrics, "fabric/");
 }
 
 }  // namespace lauberhorn

@@ -1,51 +1,23 @@
 // Multi-machine testbed: several full machines share one simulator and a
-// simple IP-routed switch, so a service on one machine can issue nested RPCs
-// (§6 continuation endpoints) to services on another across the wire.
+// queued IP fabric (src/net/fabric.h), so a service on one machine can issue
+// nested RPCs (§6 continuation endpoints) to services on another across the
+// wire, and any machine's client can call any machine's services (the
+// cluster dispatch plane in src/cluster builds on this).
 #ifndef SRC_CORE_TESTBED_H_
 #define SRC_CORE_TESTBED_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/machine.h"
+#include "src/net/fabric.h"
 
 namespace lauberhorn {
 
-// Routes frames to sinks by destination IP. Frames for unknown addresses are
-// dropped and counted (a real switch would flood; our topologies are fully
-// registered).
-class IpSwitch : public PacketSink {
- public:
-  void Register(uint32_t ip, PacketSink* sink) { routes_[ip] = sink; }
-
-  void ReceivePacket(Packet packet) override {
-    const auto frame = ParseUdpFrame(packet);
-    if (!frame.has_value()) {
-      ++dropped_;
-      return;
-    }
-    const auto it = routes_.find(frame->ip.dst);
-    if (it == routes_.end()) {
-      ++dropped_;
-      return;
-    }
-    ++forwarded_;
-    it->second->ReceivePacket(std::move(packet));
-  }
-
-  uint64_t forwarded() const { return forwarded_; }
-  uint64_t dropped() const { return dropped_; }
-
- private:
-  std::unordered_map<uint32_t, PacketSink*> routes_;
-  uint64_t forwarded_ = 0;
-  uint64_t dropped_ = 0;
-};
-
 class Testbed {
  public:
-  Testbed() = default;
+  Testbed() : switch_(sim_) {}
+  explicit Testbed(FabricConfig fabric) : switch_(sim_, fabric) {}
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
@@ -53,13 +25,19 @@ class Testbed {
   IpSwitch& fabric() { return switch_; }
 
   // Creates a machine on the shared simulator. `index` picks default
-  // addresses: server 10.0.<index>.2, client 10.0.<index>.1. The machine's
-  // NIC egress is re-pointed at the switch, and its NIC + client are
-  // registered as switch destinations.
+  // addresses: server 10.0.<index>.2, client 10.0.<index>.1. Both egress
+  // directions of the machine's wire are re-pointed at the switch (so a
+  // client can reach any machine's services, not just its own), and its NIC
+  // + client are registered as switch destinations. The machine index also
+  // seeds the client's request-id space so ids are cluster-unique.
   Machine& AddMachine(MachineConfig config);
 
   Machine& machine(size_t index) { return *machines_[index]; }
   size_t size() const { return machines_.size(); }
+
+  // Snapshots every machine's metrics under "m<i>/" plus the fabric's
+  // counters under "fabric/" (per-port queue drops included).
+  void ExportMetrics(MetricsRegistry& metrics) const;
 
  private:
   Simulator sim_;

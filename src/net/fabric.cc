@@ -1,0 +1,63 @@
+#include "src/net/fabric.h"
+
+#include <utility>
+
+namespace lauberhorn {
+
+IpSwitch::IpSwitch(Simulator& sim, FabricConfig config)
+    : sim_(sim), config_(config) {}
+
+void IpSwitch::Register(uint32_t ip, PacketSink* sink) {
+  const auto it = routes_.find(ip);
+  if (it != routes_.end()) {
+    ports_[it->second]->egress.set_sink(sink);
+    return;
+  }
+  LinkConfig link_config;
+  link_config.bandwidth_gbps = config_.port_bandwidth_gbps;
+  link_config.propagation = config_.port_latency;
+  link_config.queue_limit = config_.port_queue_limit;
+  auto port = std::make_unique<Port>(sim_, link_config, /*seed=*/0);
+  port->ip = ip;
+  port->egress.set_sink(sink);
+  routes_[ip] = ports_.size();
+  ports_.push_back(std::move(port));
+}
+
+void IpSwitch::ReceivePacket(Packet packet) {
+  const auto frame = ParseUdpFrame(packet);
+  if (!frame.has_value()) {
+    ++dropped_;
+    return;
+  }
+  const auto it = routes_.find(frame->ip.dst);
+  if (it == routes_.end()) {
+    ++dropped_;
+    return;
+  }
+  ++forwarded_;
+  ports_[it->second]->egress.Send(std::move(packet));
+}
+
+uint64_t IpSwitch::queue_drops() const {
+  uint64_t total = 0;
+  for (const auto& port : ports_) {
+    total += port->egress.queue_drops();
+  }
+  return total;
+}
+
+void IpSwitch::ExportMetrics(MetricsRegistry& metrics,
+                             const std::string& prefix) const {
+  metrics.SetCounter(prefix + "forwarded", forwarded_);
+  metrics.SetCounter(prefix + "dropped", dropped_);
+  metrics.SetCounter(prefix + "queue_drops", queue_drops());
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    const std::string base = prefix + "port" + std::to_string(i) + "/";
+    metrics.SetCounter(base + "forwarded", ports_[i]->egress.packets_sent());
+    metrics.SetCounter(base + "queue_drops", ports_[i]->egress.queue_drops());
+    metrics.SetCounter(base + "bytes", ports_[i]->egress.bytes_sent());
+  }
+}
+
+}  // namespace lauberhorn

@@ -17,10 +17,25 @@ Duration LinkDirection::SerializationDelay(size_t bytes) const {
   return NanosecondsF(wire_bytes * 8.0 / config_.bandwidth_gbps);
 }
 
+size_t LinkDirection::queue_depth(SimTime now) const {
+  size_t depth = busy_until_.size();
+  for (SimTime done : busy_until_) {
+    if (done <= now) {
+      --depth;
+    } else {
+      break;  // finish times are monotonic
+    }
+  }
+  return depth;
+}
+
 void LinkDirection::Transmit(Packet packet, Duration extra_delay) {
   const SimTime start = std::max(sim_.Now(), tx_free_at_);
   const SimTime done = start + SerializationDelay(packet.size());
   tx_free_at_ = done;
+  if (config_.queue_limit > 0) {
+    busy_until_.push_back(done);
+  }
   const SimTime arrival = done + config_.propagation + extra_delay;
   sim_.ScheduleAt(arrival, [this, p = std::move(packet)]() mutable {
     if (sink_ != nullptr) {
@@ -31,6 +46,15 @@ void LinkDirection::Transmit(Packet packet, Duration extra_delay) {
 
 void LinkDirection::Send(Packet packet) {
   packet.enqueued_at = sim_.Now();
+  if (config_.queue_limit > 0) {
+    while (!busy_until_.empty() && busy_until_.front() <= sim_.Now()) {
+      busy_until_.pop_front();
+    }
+    if (busy_until_.size() >= config_.queue_limit) {
+      ++queue_drops_;
+      return;  // tail drop at a full egress buffer, before any fault draws
+    }
+  }
   ++packets_sent_;
   bytes_sent_ += packet.size();
 

@@ -5,6 +5,7 @@
 #define SRC_NET_LINK_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 
 #include "src/net/packet.h"
@@ -32,6 +33,10 @@ struct LinkConfig {
   double reorder_probability = 0.0;         // delay past later packets
   Duration reorder_extra_delay = Microseconds(3);  // how far a reordered
                                                    // packet slips
+  // Finite egress buffer, in packets awaiting or under serialization. A
+  // packet arriving at a full buffer is dropped and counted in
+  // queue_drops(). 0 = unbounded (the seed behavior; machine wires keep it).
+  size_t queue_limit = 0;
   uint64_t seed = 1;                        // fault-injection stream
 };
 
@@ -60,7 +65,11 @@ class LinkDirection {
   uint64_t packets_corrupted() const { return packets_corrupted_; }
   uint64_t packets_duplicated() const { return packets_duplicated_; }
   uint64_t packets_reordered() const { return packets_reordered_; }
+  uint64_t queue_drops() const { return queue_drops_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  // Packets currently buffered or serializing (0 when queue_limit == 0,
+  // which skips occupancy tracking entirely).
+  size_t queue_depth(SimTime now) const;
 
  private:
   Duration SerializationDelay(size_t bytes) const;
@@ -73,11 +82,15 @@ class LinkDirection {
   PacketSink* sink_ = nullptr;
   FaultInjector* faults_ = nullptr;
   SimTime tx_free_at_ = 0;  // when the transmitter finishes the current packet
+  // Serialization-finish times of buffered packets (only when queue_limit
+  // > 0): entries <= now have left the buffer and are pruned lazily.
+  std::deque<SimTime> busy_until_;
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;
   uint64_t packets_corrupted_ = 0;
   uint64_t packets_duplicated_ = 0;
   uint64_t packets_reordered_ = 0;
+  uint64_t queue_drops_ = 0;
   uint64_t bytes_sent_ = 0;
 };
 

@@ -326,7 +326,9 @@ void LauberhornRuntime::IssueNested(Core& core, const MethodDef& method,
     nested.kind = MessageKind::kRequest;
     nested.service_id = call.service_id;
     nested.method_id = call.method_id;
-    nested.request_id = 0x8000'0000'0000'0000ULL | next_nested_id_++;
+    nested.request_id = 0x8000'0000'0000'0000ULL |
+                        (static_cast<uint64_t>(config_.machine_index) << 40) |
+                        next_nested_id_++;
     MarshalArgs(call.request_sig, call.args, nested.payload);
     nic_.ClientTransmit(*continuation, call.dst_ip, call.dst_port, std::move(nested));
 

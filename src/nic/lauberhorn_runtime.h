@@ -59,6 +59,10 @@ class LauberhornRuntime : public SchedStateListener {
     // un-dampened policy.
     Duration scale_cooldown = 0;
     int scale_down_ticks = 1;
+    // Seeds the nested-RPC request-id space (bit 63 | machine_index << 40)
+    // so frontends on different machines never issue colliding ids at the
+    // same backend. Machine threads MachineConfig::machine_index here.
+    uint32_t machine_index = 0;
   };
 
   LauberhornRuntime(Simulator& sim, Kernel& kernel, LauberhornNic& nic,
