@@ -35,21 +35,44 @@ void ClusterClient::Call(uint32_t service_id, uint16_t method_id,
 }
 
 void ClusterClient::Attempt(CallCtx* ctx) {
-  std::vector<size_t> candidates =
-      directory_.Resolve(ctx->service_id, sim_.Now());
-  // Prefer replicas this call has not touched yet; once every replica has
-  // been tried, allow re-tries (a fresh request id, still at-most-once).
-  std::vector<size_t> untried;
-  untried.reserve(candidates.size());
-  for (size_t idx : candidates) {
-    if (std::find(ctx->tried.begin(), ctx->tried.end(), idx) ==
-        ctx->tried.end()) {
-      untried.push_back(idx);
+  size_t pick = 0;
+  uint32_t dst_ip = 0;
+  uint16_t dst_port = 0;
+  {
+    // The directory is shared across edges (and, in sharded testbeds,
+    // across threads): resolve + pick + signal update are one atomic
+    // section. Released before the send — and before Finish, which runs
+    // user code.
+    std::lock_guard<std::mutex> lock(directory_.mu());
+    std::vector<size_t> candidates =
+        directory_.Resolve(ctx->service_id, sim_.Now());
+    // Prefer replicas this call has not touched yet; once every replica has
+    // been tried, allow re-tries (a fresh request id, still at-most-once).
+    std::vector<size_t> untried;
+    untried.reserve(candidates.size());
+    for (size_t idx : candidates) {
+      if (std::find(ctx->tried.begin(), ctx->tried.end(), idx) ==
+          ctx->tried.end()) {
+        untried.push_back(idx);
+      }
+    }
+    const std::vector<size_t>& pool = untried.empty() ? candidates : untried;
+    if (pool.empty()) {
+      ++stats_.no_replica;
+    } else {
+      --ctx->attempts_left;
+      ++stats_.attempts;
+      pick = policy_.Pick(directory_, ctx->service_id, pool, ctx->shard_key,
+                          sim_.Now());
+      ctx->tried.push_back(pick);
+      ServiceDirectory::Replica& replica =
+          directory_.replica(ctx->service_id, pick);
+      ++replica.outstanding;
+      dst_ip = replica.info.ip;
+      dst_port = replica.info.udp_port;
     }
   }
-  const std::vector<size_t>& pool = untried.empty() ? candidates : untried;
-  if (pool.empty()) {
-    ++stats_.no_replica;
+  if (dst_ip == 0) {
     RpcMessage failure;
     failure.kind = MessageKind::kResponse;
     failure.service_id = ctx->service_id;
@@ -58,17 +81,8 @@ void ClusterClient::Attempt(CallCtx* ctx) {
     Finish(ctx, failure);
     return;
   }
-
-  --ctx->attempts_left;
-  ++stats_.attempts;
-  const size_t pick =
-      policy_.Pick(directory_, ctx->service_id, pool, ctx->shard_key, sim_.Now());
-  ctx->tried.push_back(pick);
-
-  ServiceDirectory::Replica& replica = directory_.replica(ctx->service_id, pick);
-  ++replica.outstanding;
   client_.CallRawTo(
-      replica.info.ip, replica.info.udp_port, ctx->service_id, ctx->method_id,
+      dst_ip, dst_port, ctx->service_id, ctx->method_id,
       ctx->payload,  // copy: failover may need to resend it
       [this, ctx, pick](const RpcMessage& response, Duration /*rtt*/) {
         OnOutcome(ctx, pick, response);
@@ -77,50 +91,55 @@ void ClusterClient::Attempt(CallCtx* ctx) {
 
 void ClusterClient::OnOutcome(CallCtx* ctx, size_t replica_index,
                               const RpcMessage& response) {
-  ServiceDirectory::Replica& replica =
-      directory_.replica(ctx->service_id, replica_index);
-  replica.outstanding = std::max(0, replica.outstanding - 1);
+  // Update the shared replica signals under the directory lock, decide the
+  // next move, then act with the lock released (Attempt re-takes it; Finish
+  // runs user code).
+  bool retry = false;
+  {
+    std::lock_guard<std::mutex> lock(directory_.mu());
+    ServiceDirectory::Replica& replica =
+        directory_.replica(ctx->service_id, replica_index);
+    replica.outstanding = std::max(0, replica.outstanding - 1);
 
-  if (response.status == kTimedOut) {
-    ++replica.timeouts;
-    ++replica.timeout_streak;
-    if (replica.timeout_streak >= config_.down_after_timeouts) {
-      directory_.MarkDown(ctx->service_id, replica_index,
-                          sim_.Now() + config_.down_duration);
+    if (response.status == kTimedOut) {
+      ++replica.timeouts;
+      ++replica.timeout_streak;
+      if (replica.timeout_streak >= config_.down_after_timeouts) {
+        directory_.MarkDown(ctx->service_id, replica_index,
+                            sim_.Now() + config_.down_duration);
+      }
+      if (config_.failover_on_timeout && ctx->attempts_left > 0) {
+        ++stats_.failovers;
+        retry = true;
+      } else {
+        ++stats_.exhausted;
+      }
+    } else if (response.status == RpcStatus::kOverloaded) {
+      ++replica.overloaded;
+      BumpOverloadScore(replica, 1.0);
+      if (config_.divert_on_overload && ctx->attempts_left > 0) {
+        ++stats_.diverts;
+        retry = true;
+      } else {
+        ++stats_.exhausted;
+      }
+    } else {
+      // Any substantive response (kOk or an application error) proves the
+      // replica is alive and serving.
+      replica.timeout_streak = 0;
+      BumpOverloadScore(replica, 0.0);  // decay only
+      if (!replica.up) {
+        directory_.MarkUp(ctx->service_id, replica_index);
+      }
+      if (response.status == RpcStatus::kOk) {
+        ++replica.ok;
+        ++stats_.ok;
+      }
     }
-    if (config_.failover_on_timeout && ctx->attempts_left > 0) {
-      ++stats_.failovers;
-      Attempt(ctx);
-      return;
-    }
-    ++stats_.exhausted;
-    Finish(ctx, response);
+  }
+  if (retry) {
+    Attempt(ctx);
     return;
-  }
-
-  if (response.status == RpcStatus::kOverloaded) {
-    ++replica.overloaded;
-    BumpOverloadScore(replica, 1.0);
-    if (config_.divert_on_overload && ctx->attempts_left > 0) {
-      ++stats_.diverts;
-      Attempt(ctx);
-      return;
-    }
-    ++stats_.exhausted;
-    Finish(ctx, response);
-    return;
-  }
-
-  // Any substantive response (kOk or an application error) proves the
-  // replica is alive and serving.
-  replica.timeout_streak = 0;
-  BumpOverloadScore(replica, 0.0);  // decay only
-  if (!replica.up) {
-    directory_.MarkUp(ctx->service_id, replica_index);
-  }
-  if (response.status == RpcStatus::kOk) {
-    ++replica.ok;
-    ++stats_.ok;
   }
   Finish(ctx, response);
 }

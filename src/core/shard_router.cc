@@ -1,0 +1,71 @@
+#include "src/core/shard_router.h"
+
+#include <utility>
+
+#include "src/net/headers.h"
+#include "src/proto/rpc_message.h"
+
+namespace lauberhorn {
+
+namespace {
+// Reads the LRPC request id out of a frame's UDP payload without a full
+// decode. Returns 0 (a reserved "no id" key) for payloads that are not LRPC
+// messages — ordering for those falls back to (src shard, post seq), still
+// deterministic. Request ids are cluster-unique (the client seeds them with
+// the machine index), which is what makes them a sound cross-shard
+// tie-break.
+uint64_t PeekRpcRequestId(const Packet& packet) {
+  constexpr size_t kPayloadOff = kAllHeadersSize;
+  constexpr size_t kRequestIdOff = kPayloadOff + 12;  // see rpc_message.h
+  if (packet.bytes.size() < kPayloadOff + kLrpcHeaderSize) {
+    return 0;
+  }
+  const uint8_t* d = packet.bytes.data();
+  const uint16_t magic =
+      static_cast<uint16_t>(d[kPayloadOff] | (d[kPayloadOff + 1] << 8));
+  if (magic != kLrpcMagic) {
+    return 0;
+  }
+  uint64_t id = 0;
+  for (int i = 7; i >= 0; --i) {
+    id = (id << 8) | d[kRequestIdOff + static_cast<size_t>(i)];
+  }
+  return id;
+}
+}  // namespace
+
+void ShardRouter::RegisterDestination(uint32_t ip, int shard,
+                                      PacketSink* ingress) {
+  routes_[ip] = Route{shard, ingress};
+}
+
+WireRouter* ShardRouter::ForShard(int src_shard) {
+  while (adapters_.size() <= static_cast<size_t>(src_shard)) {
+    adapters_.push_back(
+        std::make_unique<Adapter>(this, static_cast<int>(adapters_.size())));
+  }
+  return adapters_[static_cast<size_t>(src_shard)].get();
+}
+
+bool ShardRouter::Adapter::RouteTransmit(Packet& packet, SimTime arrival) {
+  return router->RouteFrom(src, packet, arrival);
+}
+
+bool ShardRouter::RouteFrom(int src_shard, Packet& packet, SimTime arrival) {
+  const auto dst_ip = PeekIpv4Dst(packet);
+  if (!dst_ip.has_value()) {
+    return false;  // unparseable: deliver locally, the slice drops it
+  }
+  const auto it = routes_.find(*dst_ip);
+  if (it == routes_.end() || it->second.shard == src_shard) {
+    return false;  // unknown or local destination: sequential path
+  }
+  PacketSink* ingress = it->second.ingress;
+  engine_.Post(src_shard, it->second.shard, arrival, PeekRpcRequestId(packet),
+               [ingress, p = std::move(packet)]() mutable {
+                 ingress->ReceivePacket(std::move(p));
+               });
+  return true;
+}
+
+}  // namespace lauberhorn

@@ -1,0 +1,63 @@
+// Cross-shard packet routing for sharded testbeds (src/sim/shard.h).
+//
+// The sharded engine partitions machines across shards; each shard owns a
+// private IpSwitch slice so fabric egress queues stay thread-local. A
+// ShardRouter is installed on every machine wire (LinkDirection::set_router)
+// and intercepts Transmit: if the frame's IPv4 destination is owned by a
+// different shard, the delivery becomes a timestamped message Posted into
+// that shard — timestamped with the wire's fully computed arrival time
+// (serialization + propagation, which is why the wire's propagation delay is
+// the engine's lookahead) and keyed by the LRPC request id so same-tick
+// deliveries from different shards order deterministically.
+//
+// Same-shard destinations (and unparseable/unroutable frames) return false,
+// keeping the sequential local-delivery path — and its event ordering —
+// untouched.
+#ifndef SRC_CORE_SHARD_ROUTER_H_
+#define SRC_CORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/sim/shard.h"
+
+namespace lauberhorn {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardedEngine& engine) : engine_(engine) {}
+
+  // Declares that frames addressed to `ip` belong to shard `shard` and are
+  // delivered by handing them to `ingress` (that shard's IpSwitch slice).
+  void RegisterDestination(uint32_t ip, int shard, PacketSink* ingress);
+
+  // The WireRouter to install on links whose events execute on `src_shard`.
+  WireRouter* ForShard(int src_shard);
+
+ private:
+  struct Route {
+    int shard = 0;
+    PacketSink* ingress = nullptr;
+  };
+  // One adapter per source shard: RouteTransmit needs to know which shard's
+  // execution it is running inside to tell local from remote.
+  struct Adapter : public WireRouter {
+    Adapter(ShardRouter* r, int s) : router(r), src(s) {}
+    bool RouteTransmit(Packet& packet, SimTime arrival) override;
+    ShardRouter* router;
+    int src;
+  };
+
+  bool RouteFrom(int src_shard, Packet& packet, SimTime arrival);
+
+  ShardedEngine& engine_;
+  std::unordered_map<uint32_t, Route> routes_;
+  std::vector<std::unique_ptr<Adapter>> adapters_;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_CORE_SHARD_ROUTER_H_

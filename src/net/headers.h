@@ -84,6 +84,14 @@ enum class ParseError {
 // encountered, mirroring what a NIC RX pipeline checks stage by stage.
 std::optional<ParsedFrame> ParseUdpFrame(const Packet& packet, ParseError* error = nullptr);
 
+// Reads just the IPv4 destination address of a frame without validating
+// checksums or lengths — the switch-style forwarding peek the cross-shard
+// router uses to decide which shard owns a delivery. Returns nullopt for
+// frames too short to carry an IPv4 header or with a non-IPv4 ethertype
+// (those deliver locally and are dropped by the full parse, same as the
+// sequential path).
+std::optional<uint32_t> PeekIpv4Dst(const Packet& packet);
+
 // Debug helpers.
 std::string FormatMac(const MacAddress& mac);
 std::string FormatIpv4(uint32_t ip);

@@ -1,0 +1,271 @@
+#include "src/sim/shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+namespace lauberhorn {
+
+namespace {
+// Default sync window when no link has been observed yet; matches the
+// default machine-wire propagation delay (LinkConfig.propagation).
+constexpr Duration kDefaultLookahead = Nanoseconds(500);
+}  // namespace
+
+ShardedEngine::ShardedEngine(int shards) : lookahead_(kDefaultLookahead) {
+  assert(shards >= 1);
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void ShardedEngine::ObserveLinkLookahead(Duration min_latency) {
+  assert(min_latency > 0 && "conservative sync needs a positive lookahead");
+  lookahead_ = std::min(lookahead_, min_latency);
+}
+
+bool ShardedEngine::MessageAfter(const Message& a, const Message& b) {
+  return std::tie(a.when, a.key, a.src, a.seq) >
+         std::tie(b.when, b.key, b.src, b.seq);
+}
+
+SimTime ShardedEngine::NextLocalTime(const Shard& shard) {
+  const SimTime heap_next = shard.sim.NextEventTime();
+  const SimTime msg_next =
+      shard.staged.empty() ? kNoEventTime : shard.staged.front().when;
+  return std::min(heap_next, msg_next);
+}
+
+void ShardedEngine::Post(int src, int dst, SimTime when, uint64_t key,
+                         Callback fn) {
+  assert(src != dst && "same-shard traffic uses the shard's own heap");
+  Shard& sender = *shards_[static_cast<size_t>(src)];
+  const SimTime floor = sender.sim.Now() + lookahead_;
+  if (when < floor) {
+    // A sub-horizon delivery is unrecoverable: the destination may already
+    // have executed past `when`, so continuing would silently reorder
+    // history. Die loudly instead.
+    std::fprintf(stderr,
+                 "ShardedEngine::Post lookahead violation: shard %d -> %d at "
+                 "t=%lld, floor=%lld (now=%lld + lookahead=%lld)\n",
+                 src, dst, static_cast<long long>(when),
+                 static_cast<long long>(floor),
+                 static_cast<long long>(sender.sim.Now()),
+                 static_cast<long long>(lookahead_));
+    std::abort();
+  }
+  Message message;
+  message.when = when;
+  message.key = key;
+  message.src = static_cast<uint32_t>(src);
+  message.seq = sender.next_post_seq++;
+  message.fn = std::move(fn);
+
+  Shard& receiver = *shards_[static_cast<size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(receiver.inbox_mu);
+    receiver.inbox.push_back(std::move(message));
+    if (when < receiver.inbox_next.load()) {
+      receiver.inbox_next.store(when);
+    }
+    // Keep the receiver's published clock <= all of its unexecuted work:
+    // without this, a peer could compute a horizon above `when` while the
+    // message sits undrained.
+    if (when < receiver.clock.load()) {
+      PublishClock(receiver, when);
+    }
+  }
+  // The horizon the sender's current batch runs under predates this post,
+  // so it cannot bound the post's causal echoes; the earliest one can come
+  // back is `when` (peer executes) + lookahead (its reply crosses back).
+  sender.batch_post_bound =
+      std::min(sender.batch_post_bound, when + lookahead_);
+  ++sender.stats.messages_posted;
+  activity_.fetch_add(1);
+}
+
+SimTime ShardedEngine::HorizonFor(int index) const {
+  // The clocks are read one at a time, so a raw scan is not a consistent
+  // snapshot: shard B can post into shard A (lowering A's clock) after we
+  // read A's high value, then advance and republish high before we read B —
+  // the in-flight low timestamp hides behind the scan order and the horizon
+  // comes out unsafe. The seqlock versions fix this: pass one reads each
+  // (version, clock) pair, pass two re-reads the versions, and if every
+  // version is even and unchanged, all the clocks held their values at one
+  // common instant (the moment between the passes), which is what the
+  // conservative-safety argument needs. After a few contested attempts fall
+  // back to this shard's own published clock: the batch then executes
+  // nothing and retries after a yield (a stall, not an error).
+  const size_t n = shards_.size();
+  std::vector<SimTime> clocks(n);
+  std::vector<uint64_t> versions(n);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    bool stable = true;
+    for (size_t j = 0; j < n; ++j) {
+      versions[j] = shards_[j]->clock_version.load();
+      clocks[j] = shards_[j]->clock.load();
+      stable = stable && (versions[j] % 2 == 0);
+    }
+    for (size_t j = 0; stable && j < n; ++j) {
+      stable = shards_[j]->clock_version.load() == versions[j];
+    }
+    if (!stable) {
+      continue;
+    }
+    SimTime min_clock = kNoEventTime;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == static_cast<size_t>(index)) {
+        continue;
+      }
+      min_clock = std::min(min_clock, clocks[j]);
+    }
+    return min_clock >= kNoEventTime - lookahead_ ? kNoEventTime
+                                                  : min_clock + lookahead_;
+  }
+  return shards_[static_cast<size_t>(index)]->clock.load();
+}
+
+bool ShardedEngine::GloballyDone(SimTime deadline) const {
+  // Re-activation race: between reading shard j as done and shard k as done,
+  // k may have posted to j. Every Post ticks activity_ *after* lowering the
+  // destination clock, so either some clock reads <= deadline here or the
+  // counter moved across the scan.
+  const uint64_t before = activity_.load();
+  for (const auto& shard : shards_) {
+    if (shard->clock.load() <= deadline) {
+      return false;
+    }
+  }
+  return activity_.load() == before;
+}
+
+void ShardedEngine::ShardLoop(int index, SimTime deadline) {
+  Shard& self = *shards_[static_cast<size_t>(index)];
+  for (;;) {
+    // Drain the inbox into the staging heap and publish the earliest
+    // pending time (or the done sentinel) — under the inbox mutex, so the
+    // store cannot overwrite a conditional lower for an undrained message.
+    SimTime next;
+    {
+      std::lock_guard<std::mutex> lock(self.inbox_mu);
+      for (Message& message : self.inbox) {
+        self.staged.push_back(std::move(message));
+        std::push_heap(self.staged.begin(), self.staged.end(), MessageAfter);
+      }
+      self.inbox.clear();
+      self.inbox_next.store(kNoEventTime);
+      next = NextLocalTime(self);
+      PublishClock(self, next <= deadline ? next : deadline + 1);
+    }
+
+    if (next > deadline) {
+      if (GloballyDone(deadline)) {
+        return;
+      }
+      ++self.stats.horizon_stalls;
+      std::this_thread::yield();
+      continue;
+    }
+
+    // Everything strictly below the horizon is final: no peer can produce a
+    // message below its own clock + lookahead (in-flight messages are
+    // covered by their sender's still-low clock until Post returns).
+    const SimTime horizon = HorizonFor(index);
+    self.batch_post_bound = kNoEventTime;
+    bool ran = false;
+    bool redrain = false;
+    for (;;) {
+      const SimTime heap_next = self.sim.NextEventTime();
+      const SimTime msg_next =
+          self.staged.empty() ? kNoEventTime : self.staged.front().when;
+      const SimTime when = std::min(heap_next, msg_next);
+      if (when > deadline || when >= horizon ||
+          when >= self.batch_post_bound) {
+        break;
+      }
+      // A message delivered since the drain is pending work this batch
+      // can't see; executing past it would reorder history. <= and not <:
+      // on a timestamp tie the message must run first (determinism rule).
+      if (self.inbox_next.load() <= when) {
+        redrain = true;
+        break;
+      }
+      // The published clock deliberately stays at the batch-start value: a
+      // stale-low clock is conservative (peers' horizons lag one batch),
+      // and not touching the shared line per event keeps batches running
+      // at sequential speed. Peers advance in lookahead-window jumps.
+      if (msg_next <= heap_next) {
+        // Same-picosecond tie against a local event: the message runs
+        // first — a fixed rule, part of the determinism contract.
+        std::pop_heap(self.staged.begin(), self.staged.end(), MessageAfter);
+        Message message = std::move(self.staged.back());
+        self.staged.pop_back();
+#ifndef NDEBUG
+        if (message.when < self.sim.Now()) {
+          std::fprintf(stderr,
+                       "shard %d: late message from shard %u: when=%lld "
+                       "now=%lld horizon=%lld key=%llu seq=%llu clocks=[",
+                       index, message.src,
+                       static_cast<long long>(message.when),
+                       static_cast<long long>(self.sim.Now()),
+                       static_cast<long long>(horizon),
+                       static_cast<unsigned long long>(message.key),
+                       static_cast<unsigned long long>(message.seq));
+          for (const auto& s : shards_) {
+            std::fprintf(stderr, "%lld ",
+                         static_cast<long long>(s->clock.load()));
+          }
+          std::fprintf(stderr, "]\n");
+        }
+#endif
+        self.sim.ExecuteInjected(message.when, std::move(message.fn));
+        ++self.stats.messages_executed;
+      } else {
+        self.sim.Step();
+      }
+      ran = true;
+    }
+    if (!ran && !redrain) {
+      ++self.stats.horizon_stalls;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ShardedEngine::RunUntil(SimTime deadline) {
+  if (shards_.size() == 1) {
+    // The sequential engine, bit for bit: no threads, no clocks, no inbox.
+    shards_[0]->sim.RunUntil(deadline);
+    return;
+  }
+  // Initialize published clocks conservatively (Now() is <= all pending
+  // work, including messages staged past a previous deadline).
+  for (auto& shard : shards_) {
+    shard->clock.store(shard->sim.Now());
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    threads.emplace_back(
+        [this, i, deadline] { ShardLoop(static_cast<int>(i), deadline); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (auto& shard : shards_) {
+    shard->sim.AdvanceTo(deadline);
+  }
+}
+
+size_t ShardedEngine::staged_messages(int i) const {
+  const Shard& shard = *shards_[static_cast<size_t>(i)];
+  std::lock_guard<std::mutex> lock(shard.inbox_mu);
+  return shard.staged.size() + shard.inbox.size();
+}
+
+}  // namespace lauberhorn

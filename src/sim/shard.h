@@ -1,0 +1,199 @@
+// Sharded (parallel) discrete-event engine with conservative lookahead
+// synchronization — classic Chandy–Misra–Bryant, adapted to this repo's
+// slab/heap simulator.
+//
+// N shards each own a full Simulator (event slab, 4-ary heap, local clock)
+// and run on their own thread. Cross-shard interactions are *timestamped
+// messages*: the sender computes the full future arrival time on its side
+// (possible because the wire's serialization + propagation delay is known at
+// transmit time) and Post()s the callback into the destination shard's
+// inbox. A shard may execute events strictly below its safe horizon
+//
+//   horizon = min(other shards' clocks) + lookahead
+//
+// where lookahead is the minimum cross-shard link latency observed at setup
+// (ObserveLinkLookahead). Any message a peer could still send carries a
+// timestamp >= its clock + lookahead >= horizon, so everything below the
+// horizon is final and can run without coordination.
+//
+// Determinism (the oracle in tests/pdes_test.cc): messages never enter the
+// destination's main heap — they would be assigned local FIFO sequence
+// numbers dependent on *drain timing*, which varies run to run. Instead
+// each shard keeps an owner-local staging heap ordered by the fixed key
+// (when, key, src_shard, src_seq), where `key` is a cluster-unique request
+// id. The executor always runs the global minimum of (main heap top,
+// staging top); on a same-picosecond tie the message runs first. Thread
+// arrival order never influences execution order.
+//
+// Clock protocol (TSan-clean):
+//   - Each shard's clock is a seq_cst atomic. The owner publishes
+//     min(pending work) under its inbox mutex after draining, then leaves it
+//     untouched for the whole batch: a stale-low clock is conservative
+//     (peers' horizons lag one batch behind), and keeping the shared line
+//     quiet lets batches run at sequential speed. Shards therefore advance
+//     each other in lookahead-window jumps, not per event.
+//   - Post() pushes under the destination's inbox mutex and *lowers* the
+//     destination clock if the message timestamp is below it, so a shard's
+//     published clock is always <= all of its unexecuted work. A message
+//     in flight is covered transitively by its sender's clock (the sender
+//     is mid-event until Post returns).
+//   - Horizon scans take a seqlock-consistent snapshot of the peer clocks:
+//     clocks are read one at a time, and a Post landing mid-scan can hide a
+//     low in-flight timestamp behind already-read values (it lowers a clock
+//     the scanner already read high, while the sender republishes high
+//     before the scanner gets there). Every clock write — owner publish and
+//     Post's lower, both under the owner's inbox mutex — is bracketed by
+//     version bumps; a scan whose versions are even and unchanged across a
+//     second pass saw every clock at one common instant, which grounds the
+//     chain argument above. Changed versions retry the scan.
+//   - A shard's own inbox is part of its pending work between drains: the
+//     batch loop checks the inbox_next register (earliest undrained message
+//     timestamp, maintained under the inbox mutex) before each event and
+//     re-drains instead of executing past an already-delivered message.
+//   - The horizon bounds only chains that existed when it was computed. A
+//     message this shard posts mid-batch can be answered within the same
+//     batch window (request at t, reply back at t + 2*lookahead), so each
+//     post caps the batch at its timestamp + lookahead (batch_post_bound):
+//     the batch re-syncs before entering the window a reflection could
+//     reach. Without this cap a shard outruns echoes of its own traffic —
+//     the horizon scan is innocent; the offending chain did not exist yet.
+//   - Termination: a shard that finds no work <= deadline publishes the
+//     sentinel deadline+1. The run is over when every clock exceeds the
+//     deadline and the global activity counter did not move across the
+//     check (the counter ticks on every Post, closing the re-activation
+//     race in distributed-termination detection).
+//
+// shards == 1 bypasses all of this and calls Simulator::RunUntil directly:
+// bit-for-bit the sequential engine.
+#ifndef SRC_SIM_SHARD_H_
+#define SRC_SIM_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/sim/callback.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace lauberhorn {
+
+class ShardedEngine {
+ public:
+  struct ShardStats {
+    // Outer loop iterations that found work pending but none below the safe
+    // horizon (the cost of conservative sync).
+    uint64_t horizon_stalls = 0;
+    // Cross-shard messages this shard sent / executed.
+    uint64_t messages_posted = 0;
+    uint64_t messages_executed = 0;
+  };
+
+  explicit ShardedEngine(int shards);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  Simulator& shard(int i) { return shards_[static_cast<size_t>(i)]->sim; }
+  const Simulator& shard(int i) const {
+    return shards_[static_cast<size_t>(i)]->sim;
+  }
+
+  // The conservative sync window. Derived from link latencies: call
+  // ObserveLinkLookahead once per cross-shard link at topology-build time
+  // (before RunUntil); the engine keeps the minimum.
+  Duration lookahead() const { return lookahead_; }
+  void ObserveLinkLookahead(Duration min_latency);
+
+  // Delivers `fn` into shard `dst` at absolute time `when`, as if scheduled
+  // there. Must be called from shard `src`'s own execution (or before any
+  // threads run). `key` fixes cross-shard ordering for same-timestamp
+  // deliveries — pass a cluster-unique id (request id); ties then break by
+  // (src, per-src seq), never by thread arrival.
+  //
+  // `when` must be >= shard(src).Now() + lookahead(); a violation would let
+  // the destination execute past the message and silently corrupt the
+  // simulation, so it aborts loudly instead (see PostRespectsLookahead to
+  // probe without dying).
+  void Post(int src, int dst, SimTime when, uint64_t key, Callback fn);
+
+  // True iff a Post from `src` at `when` would satisfy the lookahead bound.
+  bool PostRespectsLookahead(int src, SimTime when) const {
+    return when >= shard(src).Now() + lookahead_;
+  }
+
+  // Runs every shard until `deadline` (inclusive), then advances all shard
+  // clocks to `deadline`. shards()==1 runs inline on the calling thread —
+  // the exact sequential engine. Otherwise spawns one thread per shard.
+  // Events and messages beyond `deadline` stay pending for the next call.
+  void RunUntil(SimTime deadline);
+
+  // Cross-shard messages staged or inboxed for shard `i` but not yet
+  // executed (counts toward that shard's pending work alongside
+  // shard(i).pending_events()).
+  size_t staged_messages(int i) const;
+
+  const ShardStats& stats(int i) const {
+    return shards_[static_cast<size_t>(i)]->stats;
+  }
+
+ private:
+  struct Message {
+    SimTime when = 0;
+    uint64_t key = 0;    // cluster-unique tie-break (request id)
+    uint32_t src = 0;    // sending shard
+    uint64_t seq = 0;    // per-sender post order; the final tie level
+    Callback fn;
+  };
+  // Min-heap comparator for std::push_heap/pop_heap (greater-than = "sorts
+  // after"): total order (when, key, src, seq).
+  static bool MessageAfter(const Message& a, const Message& b);
+
+  struct alignas(64) Shard {
+    Simulator sim;
+    std::atomic<int64_t> clock{0};
+    // Seqlock version for `clock`: odd while a write is in progress. Every
+    // writer holds inbox_mu, so the protocol is single-writer per shard.
+    std::atomic<uint64_t> clock_version{0};
+    // Earliest timestamp sitting undrained in `inbox` (kNoEventTime when
+    // empty); the owner's batch loop reads it before each event.
+    std::atomic<int64_t> inbox_next{kNoEventTime};
+    mutable std::mutex inbox_mu;
+    std::vector<Message> inbox;   // senders push here (guarded by inbox_mu)
+    std::vector<Message> staged;  // owner-local min-heap of drained messages
+    uint64_t next_post_seq = 0;   // owner-thread only
+    // Earliest possible arrival of a reflection of a message this shard
+    // posted during the current batch (min posted timestamp + lookahead).
+    // The batch must stop there and re-sync: the horizon was computed
+    // before those posts existed, so it cannot bound their echoes. Owner
+    // thread only — Post runs inside the sender's own event execution.
+    SimTime batch_post_bound = kNoEventTime;
+    ShardStats stats;
+  };
+
+  // Seqlock write protocol for a shard's published clock (caller holds the
+  // shard's inbox_mu).
+  static void PublishClock(Shard& shard, SimTime value) {
+    shard.clock_version.fetch_add(1);
+    shard.clock.store(value);
+    shard.clock_version.fetch_add(1);
+  }
+
+  // Earliest local work (main heap vs staging heap), kNoEventTime if none.
+  static SimTime NextLocalTime(const Shard& shard);
+  void ShardLoop(int index, SimTime deadline);
+  SimTime HorizonFor(int index) const;
+  bool GloballyDone(SimTime deadline) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Duration lookahead_;
+  // Ticks on every Post; the termination check reads it before and after
+  // scanning the clocks to detect concurrent re-activation.
+  std::atomic<uint64_t> activity_{0};
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_SIM_SHARD_H_

@@ -1,0 +1,303 @@
+// Parallel discrete-event engine tests: ShardedEngine message semantics,
+// conservative-lookahead enforcement, and the determinism oracle — a
+// sharded testbed must reproduce the sequential run's per-machine wire
+// history exactly (same seed => same arrival log), because cross-shard
+// delivery order is fixed by (timestamp, request id), never thread arrival.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/testbed.h"
+#include "src/proto/marshal.h"
+#include "src/sim/shard.h"
+
+namespace lauberhorn {
+namespace {
+
+TEST(ShardedEngineTest, LookaheadTracksMinimumObservedLink) {
+  ShardedEngine engine(2);
+  engine.ObserveLinkLookahead(Nanoseconds(200));
+  EXPECT_EQ(engine.lookahead(), Nanoseconds(200));
+  engine.ObserveLinkLookahead(Nanoseconds(400));
+  EXPECT_EQ(engine.lookahead(), Nanoseconds(200));
+  engine.ObserveLinkLookahead(Nanoseconds(50));
+  EXPECT_EQ(engine.lookahead(), Nanoseconds(50));
+}
+
+TEST(ShardedEngineTest, SingleShardMatchesSequentialSimulator) {
+  // shards == 1 must be the sequential engine bit for bit: same execution
+  // order, same clock, no threads involved.
+  std::vector<int> direct;
+  Simulator reference;
+  for (int i = 0; i < 16; ++i) {
+    reference.ScheduleAt(Microseconds(1 + (i * 7) % 5),
+                         [&direct, i] { direct.push_back(i); });
+  }
+  reference.RunUntil(Milliseconds(1));
+
+  std::vector<int> sharded;
+  ShardedEngine engine(1);
+  for (int i = 0; i < 16; ++i) {
+    engine.shard(0).ScheduleAt(Microseconds(1 + (i * 7) % 5),
+                               [&sharded, i] { sharded.push_back(i); });
+  }
+  engine.RunUntil(Milliseconds(1));
+  EXPECT_EQ(direct, sharded);
+  EXPECT_EQ(engine.shard(0).Now(), reference.Now());
+}
+
+TEST(ShardedEngineTest, PostDeliversAtTimestampOnDestinationShard) {
+  ShardedEngine engine(2);
+  const Duration lookahead = engine.lookahead();
+  SimTime delivered_at = 0;
+  engine.shard(0).ScheduleAt(Microseconds(1), [&] {
+    engine.Post(0, 1, engine.shard(0).Now() + lookahead, /*key=*/1,
+                [&] { delivered_at = engine.shard(1).Now(); });
+  });
+  engine.RunUntil(Milliseconds(1));
+  EXPECT_EQ(delivered_at, Microseconds(1) + lookahead);
+  EXPECT_EQ(engine.shard(1).Now(), Milliseconds(1));
+  EXPECT_EQ(engine.stats(0).messages_posted, 1u);
+  EXPECT_EQ(engine.stats(1).messages_executed, 1u);
+}
+
+TEST(ShardedEngineTest, SameTimestampMessagesExecuteInKeyOrder) {
+  // Two senders deliver to shard 2 at the same picosecond. Whatever the
+  // thread interleaving, execution follows the cluster-unique key — that is
+  // the determinism contract for cross-shard ties.
+  ShardedEngine engine(3);
+  const SimTime when = Microseconds(5);
+  std::vector<uint64_t> order;
+  engine.shard(0).ScheduleAt(Microseconds(1), [&] {
+    engine.Post(0, 2, when, /*key=*/9, [&] { order.push_back(9); });
+  });
+  engine.shard(1).ScheduleAt(Microseconds(1), [&] {
+    engine.Post(1, 2, when, /*key=*/3, [&] { order.push_back(3); });
+  });
+  engine.RunUntil(Milliseconds(1));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 9u);
+}
+
+TEST(ShardedEngineTest, TieWithLocalEventRunsMessageFirst) {
+  ShardedEngine engine(2);
+  const SimTime when = Microseconds(5);
+  std::vector<const char*> order;
+  engine.shard(1).ScheduleAt(when, [&] { order.push_back("local"); });
+  engine.shard(0).ScheduleAt(Microseconds(1), [&] {
+    engine.Post(0, 1, when, /*key=*/1, [&] { order.push_back("message"); });
+  });
+  engine.RunUntil(Milliseconds(1));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_STREQ(order[0], "message");
+  EXPECT_STREQ(order[1], "local");
+}
+
+TEST(ShardedEngineDeathTest, SubLookaheadPostAbortsLoudly) {
+  // A delivery below now + lookahead could land behind the destination's
+  // safe horizon and silently reorder history — it must die instead.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ShardedEngine engine(2);
+        engine.Post(0, 1, Nanoseconds(1), 0, [] {});
+      },
+      "lookahead violation");
+}
+
+TEST(ShardedEngineTest, PostRespectsLookaheadProbe) {
+  ShardedEngine engine(2);
+  EXPECT_FALSE(engine.PostRespectsLookahead(0, engine.lookahead() - 1));
+  EXPECT_TRUE(engine.PostRespectsLookahead(0, engine.lookahead()));
+}
+
+// --- Testbed integration -----------------------------------------------
+
+MachineConfig OracleMachineConfig(uint64_t seed, int index) {
+  MachineConfig config;
+  config.stack = StackKind::kLauberhorn;
+  config.num_cores = 4;
+  config.seed = seed + static_cast<uint64_t>(index) * 977;
+  config.record_arrival_log = true;
+  return config;
+}
+
+// Drives direct cross-machine echo traffic (no cluster directory — the
+// shared control plane makes load-balancing decisions timing-dependent
+// under shards > 1; see DESIGN.md §14) and returns each machine's wire
+// arrival log.
+std::vector<std::vector<Machine::ArrivalRecord>> RunOracle(int shards,
+                                                           int num_machines,
+                                                           uint64_t seed) {
+  TestbedConfig tc;
+  tc.shards = shards;
+  Testbed testbed(tc);
+  std::vector<Machine*> machines;
+  std::vector<const ServiceDef*> echoes;
+  for (int m = 0; m < num_machines; ++m) {
+    machines.push_back(&testbed.AddMachine(OracleMachineConfig(seed, m)));
+  }
+  for (Machine* machine : machines) {
+    echoes.push_back(&machine->AddService(
+        ServiceRegistry::MakeEchoService(1, 7000, Microseconds(1))));
+    machine->Start();
+    machine->StartHotLoop(*echoes.back());
+  }
+
+  // One driver per machine, on that machine's own shard: a short burst of
+  // echo calls to pseudo-random peers.
+  struct Driver {
+    Rng rng{0};
+    Machine* self = nullptr;
+    std::vector<uint32_t> peer_ips;
+    int remaining = 0;
+    Callback tick;
+  };
+  std::vector<std::unique_ptr<Driver>> drivers;
+  for (size_t m = 0; m < machines.size(); ++m) {
+    auto driver = std::make_unique<Driver>();
+    Driver* d = driver.get();
+    d->rng = Rng(seed * 2654435761u + m);
+    d->self = machines[m];
+    for (size_t peer = 0; peer < machines.size(); ++peer) {
+      if (peer != m) {
+        d->peer_ips.push_back(machines[peer]->config().server_ip);
+      }
+    }
+    d->remaining = 60;
+    d->tick = [d] {
+      if (d->remaining-- <= 0) {
+        return;
+      }
+      const uint32_t dst =
+          d->peer_ips[d->rng.UniformInt(0, d->peer_ips.size() - 1)];
+      std::vector<uint8_t> payload;
+      MarshalArgs(MethodSignature{{WireType::kBytes}},
+                  std::vector<WireValue>{WireValue::Bytes({1, 2, 3})},
+                  payload);
+      d->self->client().CallRawTo(dst, 7000, 1, 0, std::move(payload));
+      d->self->sim().Schedule(Nanoseconds(d->rng.UniformInt(500, 20000)),
+                              [d] { d->tick(); });
+    };
+    d->self->sim().ScheduleAt(Milliseconds(1) + static_cast<Duration>(m),
+                              [d] { d->tick(); });
+    drivers.push_back(std::move(driver));
+  }
+
+  testbed.RunUntil(Milliseconds(10));
+
+  std::vector<std::vector<Machine::ArrivalRecord>> logs;
+  for (Machine* machine : machines) {
+    logs.push_back(machine->arrival_log());
+  }
+  return logs;
+}
+
+TEST(PdesOracleTest, ShardedRunReproducesSequentialArrivalOrder) {
+  const auto sequential = RunOracle(/*shards=*/1, /*num_machines=*/4,
+                                    /*seed=*/42);
+  size_t total = 0;
+  for (const auto& log : sequential) {
+    total += log.size();
+  }
+  ASSERT_GT(total, 200u) << "oracle generated too little traffic to be "
+                            "meaningful";
+  for (int shards : {2, 4}) {
+    const auto sharded = RunOracle(shards, 4, 42);
+    ASSERT_EQ(sharded.size(), sequential.size());
+    for (size_t m = 0; m < sequential.size(); ++m) {
+      EXPECT_EQ(sharded[m], sequential[m])
+          << "machine " << m << " wire history diverged at shards=" << shards;
+    }
+  }
+}
+
+TEST(PdesOracleTest, DifferentSeedsProduceDifferentHistories) {
+  // Guards the oracle itself against vacuous passes (e.g. empty logs or a
+  // workload too rigid to notice reordering).
+  const auto a = RunOracle(2, 4, 42);
+  const auto b = RunOracle(2, 4, 43);
+  EXPECT_NE(a, b);
+}
+
+TEST(PdesTestbedTest, MoreShardsThanMachinesStillTerminates) {
+  // Idle shards must publish their done-sentinel and not wedge termination;
+  // traffic between the two populated shards still flows.
+  TestbedConfig tc;
+  tc.shards = 8;
+  Testbed testbed(tc);
+  MachineConfig config;
+  config.stack = StackKind::kLauberhorn;
+  config.num_cores = 4;
+  Machine& a = testbed.AddMachine(config);
+  Machine& b = testbed.AddMachine(config);
+  const ServiceDef& echo_a =
+      a.AddService(ServiceRegistry::MakeEchoService(1, 7000));
+  const ServiceDef& echo_b =
+      b.AddService(ServiceRegistry::MakeEchoService(1, 7000));
+  a.Start();
+  b.Start();
+  a.StartHotLoop(echo_a);
+  b.StartHotLoop(echo_b);
+
+  int done = 0;
+  a.sim().ScheduleAt(Milliseconds(1), [&] {
+    std::vector<uint8_t> payload;
+    MarshalArgs(MethodSignature{{WireType::kBytes}},
+                std::vector<WireValue>{WireValue::Bytes({7})}, payload);
+    a.client().CallRawTo(b.config().server_ip, 7000, 1, 0, std::move(payload),
+                         [&done](const RpcMessage& r, Duration) {
+                           EXPECT_EQ(r.status, RpcStatus::kOk);
+                           ++done;
+                         });
+  });
+  testbed.RunUntil(Milliseconds(5));
+  EXPECT_EQ(done, 1);
+  for (int s = 0; s < testbed.shards(); ++s) {
+    EXPECT_EQ(testbed.engine().shard(s).Now(), Milliseconds(5));
+  }
+}
+
+TEST(PdesTestbedTest, PerShardMetricsExported) {
+  TestbedConfig tc;
+  tc.shards = 2;
+  Testbed testbed(tc);
+  MachineConfig config;
+  config.stack = StackKind::kLauberhorn;
+  config.num_cores = 4;
+  Machine& a = testbed.AddMachine(config);
+  Machine& b = testbed.AddMachine(config);
+  const ServiceDef& echo_a =
+      a.AddService(ServiceRegistry::MakeEchoService(1, 7000));
+  const ServiceDef& echo_b =
+      b.AddService(ServiceRegistry::MakeEchoService(1, 7000));
+  a.Start();
+  b.Start();
+  a.StartHotLoop(echo_a);
+  b.StartHotLoop(echo_b);
+  a.sim().ScheduleAt(Milliseconds(1), [&] {
+    std::vector<uint8_t> payload;
+    MarshalArgs(MethodSignature{{WireType::kBytes}},
+                std::vector<WireValue>{WireValue::Bytes({7})}, payload);
+    a.client().CallRawTo(b.config().server_ip, 7000, 1, 0,
+                         std::move(payload));
+  });
+  testbed.RunUntil(Milliseconds(5));
+
+  MetricsRegistry metrics;
+  testbed.ExportMetrics(metrics);
+  for (int s = 0; s < 2; ++s) {
+    const std::string base = "sim/" + std::to_string(s) + "/";
+    EXPECT_TRUE(metrics.HasCounter(base + "pending"));
+    EXPECT_TRUE(metrics.HasCounter(base + "events_executed"));
+    EXPECT_TRUE(metrics.HasCounter(base + "horizon_stalls"));
+    EXPECT_GT(metrics.Counter(base + "events_executed"), 0u);
+  }
+  // The call above crossed shards in both directions.
+  EXPECT_GT(metrics.Counter("sim/0/messages_posted"), 0u);
+  EXPECT_GT(metrics.Counter("sim/1/messages_posted"), 0u);
+}
+
+}  // namespace
+}  // namespace lauberhorn
