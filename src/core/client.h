@@ -75,6 +75,19 @@ class RpcClient : public PacketSink {
     double overload_token_cut = 0.5;
     int overload_breaker_threshold = 0;
     Duration overload_breaker_window = Microseconds(500);
+    // NIC-driven congestion control (DESIGN.md §15). When enabled, requests
+    // go out ECT(0), a per-destination window bounds the number in flight
+    // (surplus calls are deferred, not dropped), ECN echoes feed a
+    // DCTCP-style multiplicative cut, and receiver-issued grants cap the
+    // window directly while fresh. Disabled = the seed behavior.
+    bool cc_enabled = false;
+    double cc_initial_window = 8.0;
+    double cc_min_window = 1.0;
+    double cc_max_window = 256.0;
+    double cc_gain = 0.0625;  // DCTCP g: alpha <- (1-g) alpha + g F per round
+    // A grant is a promise about *current* queue headroom; it expires so a
+    // stale credit cannot keep a window open against a congested receiver.
+    Duration cc_grant_ttl = Microseconds(200);
   };
 
   using ResponseFn = Function<void(const RpcMessage&, Duration rtt)>;
@@ -124,6 +137,19 @@ class RpcClient : public PacketSink {
 
   // Per-request span tracing: the client closes each span (kClientRx).
   void set_span_collector(SpanCollector* spans) { spans_ = spans; }
+  // Optional cross-layer injector (src/fault): grant-loss and ECN-corruption
+  // draws at the response-processing edge.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  // Congestion-control introspection (0 / empty until traffic to `dst_ip`).
+  uint64_t cc_deferrals() const { return cc_deferrals_; }
+  uint64_t cc_marks_seen() const { return cc_marks_seen_; }
+  uint64_t cc_grants_received() const { return cc_grants_received_; }
+  uint64_t cc_shed_refunds() const { return cc_shed_refunds_; }
+  double cc_window(uint32_t dst_ip) const;
+  uint16_t cc_grant(uint32_t dst_ip) const;
+  size_t cc_outstanding(uint32_t dst_ip) const;
+  size_t cc_deferred_count(uint32_t dst_ip) const;
 
  private:
   struct Pending {
@@ -136,8 +162,26 @@ class RpcClient : public PacketSink {
     uint16_t method_id = 0;
     std::vector<uint8_t> payload;
     int attempts = 1;
+    int tokens_spent = 0;  // retry tokens this request's retransmits consumed
     Duration rto = 0;  // current (backed-off) retransmit interval
     EventId timer = kInvalidEventId;
+    // Congestion-control bookkeeping.
+    bool cc_holds_slot = false;        // occupies a window slot (on the wire)
+    bool cc_deferred = false;          // parked awaiting a window slot
+    bool cc_sent_under_grant = false;  // send admitted by a fresh grant
+  };
+
+  // Per-destination congestion state (only populated when cc_enabled).
+  struct CcState {
+    double window = 1.0;
+    double alpha = 0.0;        // DCTCP mark-fraction EWMA
+    uint64_t round_acks = 0;   // responses in the current window round
+    uint64_t round_marks = 0;  // of which carried a congestion mark
+    uint64_t round_size = 1;   // responses per alpha/window update
+    uint16_t grant = 0;        // latest receiver credit
+    SimTime grant_expires = 0;
+    size_t outstanding = 0;    // requests holding a window slot
+    std::deque<uint64_t> deferred;  // request ids awaiting a slot
   };
 
   void SendFrame(uint64_t request_id, const Pending& pending);
@@ -149,11 +193,25 @@ class RpcClient : public PacketSink {
   void RefillRetryTokens();
   // Remembers a finished id inside the bounded retired window.
   void RetireId(uint64_t request_id);
+  // -- Congestion control (all no-ops unless config_.cc_enabled) --
+  CcState& CcFor(uint32_t dst_ip);
+  // Window currently governing sends to this destination: the local DCTCP
+  // window, capped by a fresh grant (floored at cc_min_window so a zero or
+  // lost grant degrades to the retransmit ladder instead of deadlocking).
+  size_t CcEffectiveWindow(const CcState& cc) const;
+  void CcNoteSend(CcState& cc, Pending& pending);
+  // Applies grant / ECN-echo feedback from a response and releases the slot.
+  void CcOnResponse(const Pending& pending, const RpcMessage& msg,
+                    uint8_t response_ecn);
+  // Final retransmit expiry: loss-grade signal — halve the window.
+  void CcOnExpired(const Pending& pending);
+  void CcDrainDeferred(uint32_t dst_ip);
 
   Simulator& sim_;
   LinkDirection& to_server_;
   Config config_;
   SpanCollector* spans_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   Rng rng_;
   uint64_t next_request_id_ = 1;
   std::unordered_map<uint64_t, Pending> pending_;
@@ -174,6 +232,11 @@ class RpcClient : public PacketSink {
   uint64_t retransmits_suppressed_breaker_ = 0;
   uint32_t overload_streak_ = 0;
   SimTime breaker_until_ = 0;
+  std::unordered_map<uint32_t, CcState> cc_;  // dst ip -> window state
+  uint64_t cc_deferrals_ = 0;
+  uint64_t cc_marks_seen_ = 0;
+  uint64_t cc_grants_received_ = 0;
+  uint64_t cc_shed_refunds_ = 0;
 };
 
 // Status delivered to on_done when every retransmit attempt expires. The

@@ -166,8 +166,15 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
   client_config.encrypt = config_.encrypt_rpcs;
   client_config.root_key = config_.crypto_root_key;
   client_config.seed = 0x5eed ^ config_.seed;
+  client_config.cc_enabled = config_.client_congestion;
+  client_config.cc_initial_window = config_.client_cc_initial_window;
+  client_config.cc_max_window = config_.client_cc_max_window;
+  client_config.cc_grant_ttl = config_.client_cc_grant_ttl;
   client_ = std::make_unique<RpcClient>(*sim_, wire_->a_to_b(), client_config);
   wire_->b_to_a().set_sink(client_.get());
+  if (faults_ != nullptr) {
+    client_->set_fault_injector(faults_.get());
+  }
 
   if (config_.enable_spans) {
     spans_ = std::make_unique<SpanCollector>(config_.span_capacity);
@@ -340,6 +347,10 @@ void Machine::ExportMetrics(MetricsRegistry& metrics,
   C("client/late_responses", client_->late_responses());
   C("client/overloaded", client_->overloaded());
   C("client/breaker_openings", client_->breaker_openings());
+  C("client/cc_deferrals", client_->cc_deferrals());
+  C("client/cc_marks_seen", client_->cc_marks_seen());
+  C("client/cc_grants_received", client_->cc_grants_received());
+  C("client/cc_shed_refunds", client_->cc_shed_refunds());
   H("client/rtt").Merge(client_->rtt());
 
   C("machine/server_rpcs", server_rpcs_);
@@ -354,6 +365,20 @@ void Machine::ExportMetrics(MetricsRegistry& metrics,
   C("wire/client_egress_queue_drops", wire_->a_to_b().queue_drops());
   C("wire/nic_egress_packets", wire_->b_to_a().packets_sent());
   C("wire/nic_egress_queue_drops", wire_->b_to_a().queue_drops());
+  C("wire/client_egress_ecn_marked", wire_->a_to_b().ecn_marked());
+  C("wire/nic_egress_ecn_marked", wire_->b_to_a().ecn_marked());
+  // Tail drops attributed per (src, dst) pair: who lost packets to whom.
+  const auto export_pair_drops = [&](const char* side, const LinkDirection& dir) {
+    for (const auto& [key, count] : dir.pair_drops()) {
+      const uint32_t src = static_cast<uint32_t>(key >> 32);
+      const uint32_t dst = static_cast<uint32_t>(key);
+      metrics.SetCounter(prefix + "wire/" + side + "_pair_drop/" +
+                             FormatIpv4(src) + "->" + FormatIpv4(dst),
+                         count);
+    }
+  };
+  export_pair_drops("client_egress", wire_->a_to_b());
+  export_pair_drops("nic_egress", wire_->b_to_a());
 
   if (lauberhorn_nic_ != nullptr) {
     const LauberhornNic::Stats& s = lauberhorn_nic_->stats();
@@ -369,6 +394,8 @@ void Machine::ExportMetrics(MetricsRegistry& metrics,
     C("nic/dup_drops_in_flight", s.dup_drops_in_flight);
     C("nic/dup_replays", s.dup_replays);
     C("nic/degradations", s.degradations);
+    C("nic/grants_issued", s.grants_issued);
+    C("nic/ecn_echoes", s.ecn_echoes);
     C("overload/sheds_queue", s.requests_shed_queue);
     C("overload/sheds_quota", s.requests_shed_quota);
     C("overload/sheds_sojourn", s.requests_shed_sojourn);
@@ -416,6 +443,8 @@ void Machine::ExportMetrics(MetricsRegistry& metrics,
     C("fault/dma_errors", f.dma_errors);
     C("fault/os_crashes", f.os_crashes);
     C("fault/nic_wedges", f.nic_wedges);
+    C("fault/cc_grant_losses", f.cc_grant_losses);
+    C("fault/cc_ecn_corruptions", f.cc_ecn_corruptions);
   }
   if (spans_ != nullptr) {
     C("span/completed", spans_->completed().size());

@@ -91,6 +91,13 @@ struct MachineConfig {
   Duration client_max_retransmit_timeout = 0;  // 0 = uncapped
   double client_retransmit_jitter = 0.0;
   double client_retry_budget_per_sec = 0.0;  // 0 = unmetered
+  // NIC-driven congestion control (DESIGN.md §15): the client sends ECT(0),
+  // runs a per-destination DCTCP-style window fed by ECN echoes, and honors
+  // receiver-issued grants while fresh. Off by default (seed behavior).
+  bool client_congestion = false;
+  double client_cc_initial_window = 8.0;
+  double client_cc_max_window = 256.0;
+  Duration client_cc_grant_ttl = Microseconds(200);
   // Server-side overload admission (src/overload), applied at the active
   // stack's shed point: the Lauberhorn RX pipeline, the Linux softirq
   // socket-backlog boundary, or the bypass poll loop. Disabled by default.

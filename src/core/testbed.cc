@@ -65,14 +65,17 @@ void Testbed::ExportMetrics(MetricsRegistry& metrics) const {
   uint64_t forwarded = 0;
   uint64_t dropped = 0;
   uint64_t queue_drops = 0;
+  uint64_t ecn_marked = 0;
   for (const auto& slice : slices_) {
     forwarded += slice->forwarded();
     dropped += slice->dropped();
     queue_drops += slice->queue_drops();
+    ecn_marked += slice->ecn_marked();
   }
   metrics.SetCounter("fabric/forwarded", forwarded);
   metrics.SetCounter("fabric/dropped", dropped);
   metrics.SetCounter("fabric/queue_drops", queue_drops);
+  metrics.SetCounter("fabric/ecn_marked", ecn_marked);
   // Global port numbering (registration order: machine i's client then NIC),
   // invariant across shard counts.
   for (size_t i = 0; i < port_table_.size(); ++i) {
@@ -82,6 +85,7 @@ void Testbed::ExportMetrics(MetricsRegistry& metrics) const {
     const std::string base = "fabric/port" + std::to_string(i) + "/";
     metrics.SetCounter(base + "forwarded", egress.packets_sent());
     metrics.SetCounter(base + "queue_drops", egress.queue_drops());
+    metrics.SetCounter(base + "ecn_marked", egress.ecn_marked());
     metrics.SetCounter(base + "bytes", egress.bytes_sent());
   }
   for (int s = 0; s < engine_.shards(); ++s) {

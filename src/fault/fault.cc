@@ -45,7 +45,8 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
       net_rng_(plan.seed * 4 + 1),
       coherence_rng_(plan.seed * 4 + 2),
       pcie_rng_(plan.seed * 4 + 3),
-      nic_rng_(plan.seed * 4 + 4) {}
+      nic_rng_(plan.seed * 4 + 4),
+      cc_rng_(plan.seed * 4 + 5) {}
 
 bool FaultInjector::NetShouldDrop() {
   // Advance the Gilbert–Elliott chain one packet, then draw loss from the
@@ -180,6 +181,24 @@ bool FaultInjector::NicEndpointWedged(uint32_t endpoint) {
 bool FaultInjector::NicEndpointWedgedNow(uint32_t endpoint) const {
   auto it = nic_wedged_until_.find(endpoint);
   return it != nic_wedged_until_.end() && sim_.Now() < it->second;
+}
+
+bool FaultInjector::CcShouldLoseGrant() {
+  if (plan_.cc.grant_loss_probability > 0.0 &&
+      cc_rng_.Bernoulli(plan_.cc.grant_loss_probability)) {
+    ++stats_.cc_grant_losses;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::CcShouldCorruptEcn() {
+  if (plan_.cc.ecn_corrupt_probability > 0.0 &&
+      cc_rng_.Bernoulli(plan_.cc.ecn_corrupt_probability)) {
+    ++stats_.cc_ecn_corruptions;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace lauberhorn

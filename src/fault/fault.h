@@ -96,16 +96,33 @@ struct NicFaultPlan {
   bool Any() const { return wedge_probability > 0.0; }
 };
 
+// Congestion-control faults, applied at the client's response-processing
+// edge: a grant register write that never lands (the credit is lost and the
+// sender must fall back to its local DCTCP window / retransmit ladder), and
+// an ECN observation read back flipped (mark seen where there was none, or a
+// real mark missed). Both model the NIC->host doorbell path corrupting the
+// transport feedback loop without touching the payload.
+struct CcFaultPlan {
+  double grant_loss_probability = 0.0;   // per granted response
+  double ecn_corrupt_probability = 0.0;  // per response: invert the mark bit
+
+  bool Any() const {
+    return grant_loss_probability > 0.0 || ecn_corrupt_probability > 0.0;
+  }
+};
+
 struct FaultPlan {
   NetFaultPlan net;
   CoherenceFaultPlan coherence;
   PcieFaultPlan pcie;
   OsFaultPlan os;
   NicFaultPlan nic;
+  CcFaultPlan cc;
   uint64_t seed = 1;  // root of the per-layer Rng streams
 
   bool Any() const {
-    return net.Any() || coherence.Any() || pcie.Any() || os.Any() || nic.Any();
+    return net.Any() || coherence.Any() || pcie.Any() || os.Any() ||
+           nic.Any() || cc.Any();
   }
 
   // The canonical mixed plan used by bench/fault_resilience: every layer's
@@ -129,6 +146,8 @@ class FaultInjector {
     uint64_t dma_errors = 0;
     uint64_t os_crashes = 0;
     uint64_t nic_wedges = 0;
+    uint64_t cc_grant_losses = 0;
+    uint64_t cc_ecn_corruptions = 0;
   };
 
   FaultInjector(Simulator& sim, FaultPlan plan);
@@ -167,6 +186,10 @@ class FaultInjector {
   // Pure query: is the endpoint currently inside a wedge window?
   bool NicEndpointWedgedNow(uint32_t endpoint) const;
 
+  // --- congestion control (client response edge) ---
+  bool CcShouldLoseGrant();
+  bool CcShouldCorruptEcn();
+
  private:
   Simulator& sim_;
   FaultPlan plan_;
@@ -174,6 +197,7 @@ class FaultInjector {
   Rng coherence_rng_;
   Rng pcie_rng_;
   Rng nic_rng_;
+  Rng cc_rng_;
   Stats stats_;
 
   bool net_bad_state_ = false;

@@ -17,6 +17,7 @@ void IpSwitch::Register(uint32_t ip, PacketSink* sink) {
   link_config.bandwidth_gbps = config_.port_bandwidth_gbps;
   link_config.propagation = config_.port_latency;
   link_config.queue_limit = config_.port_queue_limit;
+  link_config.ecn_threshold = config_.port_ecn_threshold;
   auto port = std::make_unique<Port>(sim_, link_config, /*seed=*/0);
   port->ip = ip;
   port->egress.set_sink(sink);
@@ -47,16 +48,32 @@ uint64_t IpSwitch::queue_drops() const {
   return total;
 }
 
+uint64_t IpSwitch::ecn_marked() const {
+  uint64_t total = 0;
+  for (const auto& port : ports_) {
+    total += port->egress.ecn_marked();
+  }
+  return total;
+}
+
 void IpSwitch::ExportMetrics(MetricsRegistry& metrics,
                              const std::string& prefix) const {
   metrics.SetCounter(prefix + "forwarded", forwarded_);
   metrics.SetCounter(prefix + "dropped", dropped_);
   metrics.SetCounter(prefix + "queue_drops", queue_drops());
+  metrics.SetCounter(prefix + "ecn_marked", ecn_marked());
   for (size_t i = 0; i < ports_.size(); ++i) {
     const std::string base = prefix + "port" + std::to_string(i) + "/";
     metrics.SetCounter(base + "forwarded", ports_[i]->egress.packets_sent());
     metrics.SetCounter(base + "queue_drops", ports_[i]->egress.queue_drops());
+    metrics.SetCounter(base + "ecn_marked", ports_[i]->egress.ecn_marked());
     metrics.SetCounter(base + "bytes", ports_[i]->egress.bytes_sent());
+    for (const auto& [key, drops] : ports_[i]->egress.pair_drops()) {
+      metrics.SetCounter(base + "pair_drop/" +
+                             FormatIpv4(static_cast<uint32_t>(key >> 32)) +
+                             "->" + FormatIpv4(static_cast<uint32_t>(key)),
+                         drops);
+    }
   }
 }
 

@@ -28,6 +28,10 @@ struct FabricConfig {
   // Egress buffer depth in packets; arrivals at a full buffer are dropped
   // and counted per port. 0 = unbounded.
   size_t port_queue_limit = 512;
+  // ECN marking threshold K per egress queue (DCTCP-style, instantaneous
+  // depth). Only ECT frames are rewritten, so the default is harmless for
+  // traffic that never opts in. 0 disables marking.
+  size_t port_ecn_threshold = 64;
 };
 
 class IpSwitch : public PacketSink {
@@ -46,6 +50,8 @@ class IpSwitch : public PacketSink {
   uint64_t dropped() const { return dropped_; }
   // Egress-buffer tail drops summed over all ports.
   uint64_t queue_drops() const;
+  // CE marks applied across all egress queues.
+  uint64_t ecn_marked() const;
 
   size_t num_ports() const { return ports_.size(); }
   uint32_t port_ip(size_t index) const { return ports_[index]->ip; }

@@ -76,7 +76,7 @@ Packet BuildUdpFrame(const EthernetHeader& eth, Ipv4Header ip, UdpHeader udp,
   ip.total_length =
       static_cast<uint16_t>(kIpv4HeaderSize + kUdpHeaderSize + payload.size());
   out.push_back(0x45);  // version 4, IHL 5
-  out.push_back(0);     // DSCP/ECN
+  out.push_back(static_cast<uint8_t>(ip.ecn & 0x3));  // DSCP 0, ECN bits
   Put16(out, ip.total_length);
   Put16(out, 0);  // identification
   Put16(out, 0);  // flags/fragment offset
@@ -115,6 +115,42 @@ std::optional<uint32_t> PeekIpv4Dst(const Packet& packet) {
   return Get32(d, kEthernetHeaderSize + 16);
 }
 
+std::optional<Ipv4Pair> PeekIpv4SrcDst(const Packet& packet) {
+  const std::span<const uint8_t> d(packet.bytes);
+  if (d.size() < kEthernetHeaderSize + kIpv4HeaderSize) {
+    return std::nullopt;
+  }
+  if (Get16(d, 12) != kEtherTypeIpv4) {
+    return std::nullopt;
+  }
+  return Ipv4Pair{Get32(d, kEthernetHeaderSize + 12),
+                  Get32(d, kEthernetHeaderSize + 16)};
+}
+
+bool MarkEcnCe(Packet& packet) {
+  auto& bytes = packet.bytes;
+  const size_t ip_off = kEthernetHeaderSize;
+  if (bytes.size() < ip_off + kIpv4HeaderSize ||
+      Get16(bytes, 12) != kEtherTypeIpv4 || bytes[ip_off] != 0x45) {
+    return false;
+  }
+  const uint8_t ecn = bytes[ip_off + 1] & 0x3;
+  if (ecn == kEcnNotEct) {
+    return false;  // sender did not opt into ECN; drop-only semantics apply
+  }
+  if (ecn == kEcnCe) {
+    return true;  // already marked upstream
+  }
+  bytes[ip_off + 1] = static_cast<uint8_t>((bytes[ip_off + 1] & ~0x3u) | kEcnCe);
+  // Recompute the header checksum over the patched 20 bytes, as a real
+  // marking switch's egress pipeline does.
+  Store16(bytes, ip_off + 10, 0);
+  const uint16_t csum = InternetChecksum(
+      std::span<const uint8_t>(bytes.data() + ip_off, kIpv4HeaderSize));
+  Store16(bytes, ip_off + 10, csum);
+  return true;
+}
+
 std::optional<ParsedFrame> ParseUdpFrame(const Packet& packet, ParseError* error) {
   auto fail = [&](ParseError e) -> std::optional<ParsedFrame> {
     if (error != nullptr) {
@@ -142,6 +178,7 @@ std::optional<ParsedFrame> ParseUdpFrame(const Packet& packet, ParseError* error
   if (InternetChecksum(d.subspan(ip_off, kIpv4HeaderSize)) != 0) {
     return fail(ParseError::kBadIpChecksum);
   }
+  frame.ip.ecn = d[ip_off + 1] & 0x3;
   frame.ip.total_length = Get16(d, ip_off + 2);
   frame.ip.ttl = d[ip_off + 8];
   frame.ip.protocol = d[ip_off + 9];

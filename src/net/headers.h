@@ -20,6 +20,10 @@ using MacAddress = std::array<uint8_t, 6>;
 
 inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
 inline constexpr uint8_t kIpProtoUdp = 17;
+// ECN codepoints (RFC 3168), the low two bits of the IPv4 DSCP/ECN byte.
+inline constexpr uint8_t kEcnNotEct = 0b00;  // sender opted out of marking
+inline constexpr uint8_t kEcnEct0 = 0b10;    // ECN-capable transport
+inline constexpr uint8_t kEcnCe = 0b11;      // congestion experienced
 inline constexpr size_t kEthernetHeaderSize = 14;
 inline constexpr size_t kIpv4HeaderSize = 20;  // no options
 inline constexpr size_t kUdpHeaderSize = 8;
@@ -38,6 +42,7 @@ struct EthernetHeader {
 struct Ipv4Header {
   uint8_t ttl = 64;
   uint8_t protocol = kIpProtoUdp;
+  uint8_t ecn = kEcnNotEct;  // RFC 3168 codepoint, low 2 bits of the ToS byte
   uint32_t src = 0;
   uint32_t dst = 0;
   uint16_t total_length = 0;  // filled in by BuildFrame
@@ -91,6 +96,21 @@ std::optional<ParsedFrame> ParseUdpFrame(const Packet& packet, ParseError* error
 // (those deliver locally and are dropped by the full parse, same as the
 // sequential path).
 std::optional<uint32_t> PeekIpv4Dst(const Packet& packet);
+
+// Reads the IPv4 (src, dst) pair without validation — used by egress queues
+// to attribute tail drops to the flow that suffered them. Same truncation /
+// ethertype rules as PeekIpv4Dst.
+struct Ipv4Pair {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+};
+std::optional<Ipv4Pair> PeekIpv4SrcDst(const Packet& packet);
+
+// In-flight CE marking, the switch-side half of ECN: sets the CE codepoint on
+// an ECT frame and patches the IPv4 header checksum so the frame still
+// parses. Returns false (frame untouched) when the packet is not an ECT IPv4
+// frame — non-ECN traffic must never be rewritten.
+bool MarkEcnCe(Packet& packet);
 
 // Debug helpers.
 std::string FormatMac(const MacAddress& mac);

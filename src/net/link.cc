@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/fault/fault.h"
+#include "src/net/headers.h"
 
 namespace lauberhorn {
 
@@ -33,7 +34,7 @@ void LinkDirection::Transmit(Packet packet, Duration extra_delay) {
   const SimTime start = std::max(sim_.Now(), tx_free_at_);
   const SimTime done = start + SerializationDelay(packet.size());
   tx_free_at_ = done;
-  if (config_.queue_limit > 0) {
+  if (TracksOccupancy()) {
     busy_until_.push_back(done);
   }
   const SimTime arrival = done + config_.propagation + extra_delay;
@@ -52,13 +53,26 @@ void LinkDirection::Transmit(Packet packet, Duration extra_delay) {
 
 void LinkDirection::Send(Packet packet) {
   packet.enqueued_at = sim_.Now();
-  if (config_.queue_limit > 0) {
+  if (TracksOccupancy()) {
     while (!busy_until_.empty() && busy_until_.front() <= sim_.Now()) {
       busy_until_.pop_front();
     }
-    if (busy_until_.size() >= config_.queue_limit) {
+    if (config_.queue_limit > 0 && busy_until_.size() >= config_.queue_limit) {
       ++queue_drops_;
+      // Attribute the drop to the (src, dst) pair so incast victims are
+      // identifiable instead of vanishing into a per-port aggregate.
+      const auto pair = PeekIpv4SrcDst(packet);
+      ++pair_drops_[pair.has_value() ? PairKey(pair->src, pair->dst)
+                                     : PairKey(0, 0)];
       return;  // tail drop at a full egress buffer, before any fault draws
+    }
+    // DCTCP-style marking on instantaneous depth: a packet that joins a
+    // queue already K deep gets CE (ECT frames only; MarkEcnCe refuses the
+    // rest). Marking happens before the fault draws — the mark is a property
+    // of the queue, corruption of the marked frame a property of the wire.
+    if (config_.ecn_threshold > 0 &&
+        busy_until_.size() >= config_.ecn_threshold && MarkEcnCe(packet)) {
+      ++ecn_marked_;
     }
   }
   ++packets_sent_;

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 
 #include "src/net/packet.h"
@@ -49,6 +50,12 @@ struct LinkConfig {
   // packet arriving at a full buffer is dropped and counted in
   // queue_drops(). 0 = unbounded (the seed behavior; machine wires keep it).
   size_t queue_limit = 0;
+  // ECN marking threshold K, in packets (DCTCP-style instantaneous-depth
+  // marking): an ECT packet arriving when the buffer already holds >= K
+  // packets gets its CE codepoint set in flight. 0 = no marking. Non-ECT
+  // traffic is never rewritten, so enabling a threshold is behavior-neutral
+  // until a sender opts in.
+  size_t ecn_threshold = 0;
   uint64_t seed = 1;                        // fault-injection stream
 };
 
@@ -81,10 +88,18 @@ class LinkDirection {
   uint64_t packets_duplicated() const { return packets_duplicated_; }
   uint64_t packets_reordered() const { return packets_reordered_; }
   uint64_t queue_drops() const { return queue_drops_; }
+  uint64_t ecn_marked() const { return ecn_marked_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
-  // Packets currently buffered or serializing (0 when queue_limit == 0,
-  // which skips occupancy tracking entirely).
+  // Packets currently buffered or serializing (0 when neither queue_limit
+  // nor ecn_threshold is set, which skips occupancy tracking entirely).
   size_t queue_depth(SimTime now) const;
+  // Tail drops attributed per (IPv4 src, dst) pair, so an incast victim can
+  // tell *whose* traffic its full egress buffer discarded. Ordered map:
+  // deterministic export order. Unparseable frames land under {0, 0}.
+  const std::map<uint64_t, uint64_t>& pair_drops() const { return pair_drops_; }
+  static uint64_t PairKey(uint32_t src, uint32_t dst) {
+    return (static_cast<uint64_t>(src) << 32) | dst;
+  }
 
  private:
   Duration SerializationDelay(size_t bytes) const;
@@ -97,16 +112,22 @@ class LinkDirection {
   PacketSink* sink_ = nullptr;
   WireRouter* router_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  bool TracksOccupancy() const {
+    return config_.queue_limit > 0 || config_.ecn_threshold > 0;
+  }
+
   SimTime tx_free_at_ = 0;  // when the transmitter finishes the current packet
-  // Serialization-finish times of buffered packets (only when queue_limit
-  // > 0): entries <= now have left the buffer and are pruned lazily.
+  // Serialization-finish times of buffered packets (only when occupancy is
+  // tracked): entries <= now have left the buffer and are pruned lazily.
   std::deque<SimTime> busy_until_;
+  std::map<uint64_t, uint64_t> pair_drops_;  // PairKey(src, dst) -> tail drops
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;
   uint64_t packets_corrupted_ = 0;
   uint64_t packets_duplicated_ = 0;
   uint64_t packets_reordered_ = 0;
   uint64_t queue_drops_ = 0;
+  uint64_t ecn_marked_ = 0;
   uint64_t bytes_sent_ = 0;
 };
 

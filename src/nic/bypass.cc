@@ -101,12 +101,17 @@ void BypassRuntime::ProcessBatch(uint32_t q, Core& core, std::vector<Packet> pac
       response.service_id = request->service_id;
       response.method_id = request->method_id;
       response.request_id = request->request_id;
+      if (frame->ip.ecn == kEcnCe) {
+        // DCTCP fallback (§15): echo the fabric's CE mark even on a shed.
+        response.flags |= kLrpcFlagEcnEcho;
+      }
       EthernetHeader eth;
       eth.dst = frame->eth.src;
       eth.src = frame->eth.dst;
       Ipv4Header ip;
       ip.src = frame->ip.dst;
       ip.dst = frame->ip.src;
+      ip.ecn = frame->ip.ecn != kEcnNotEct ? kEcnEct0 : kEcnNotEct;
       UdpHeader udp;
       udp.src_port = frame->udp.dst_port;
       udp.dst_port = frame->udp.src_port;
@@ -225,9 +230,15 @@ void BypassRuntime::ProcessBatch(uint32_t q, Core& core, std::vector<Packet> pac
   Ipv4Header ip;
   ip.src = frame->ip.dst;
   ip.dst = frame->ip.src;
+  ip.ecn = frame->ip.ecn != kEcnNotEct ? kEcnEct0 : kEcnNotEct;
   UdpHeader udp;
   udp.src_port = frame->udp.dst_port;
   udp.dst_port = frame->udp.src_port;
+  if (frame->ip.ecn == kEcnCe) {
+    // DCTCP fallback (§15): echo the CE mark (set post-dedup so the cached
+    // response does not fossilize one request's congestion observation).
+    response.flags |= kLrpcFlagEcnEcho;
+  }
   std::vector<uint8_t> payload;
   EncodeRpcMessage(response, payload);
   const Packet out = BuildUdpFrame(eth, ip, udp, payload);

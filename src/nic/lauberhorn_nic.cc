@@ -387,6 +387,11 @@ void LauberhornNic::ReceivePacket(Packet packet) {
     prepared.udp = frame->udp;
     prepared.wire_arrival = arrival;
 
+    // ECN-capable sender: remember it for the grant denominator (§15).
+    if (frame->ip.ecn != kEcnNotEct) {
+      cc_senders_[frame->ip.src] = sim_.Now();
+    }
+
     // Arrival-rate EWMA for the scaling policy (§5.2).
     if (ep.arrivals > 0) {
       const Duration gap = sim_.Now() - ep.last_arrival;
@@ -592,6 +597,31 @@ void LauberhornNic::Shed(Endpoint& ep, const PreparedRequest& request,
   // TransmitResponse aborts the dedup entry on kOverloaded, so a later
   // retransmit of this id may still execute (at most once).
   TransmitResponse(request, std::move(overload));
+}
+
+uint16_t LauberhornNic::ComputeGrant(const Endpoint& ep) {
+  const SimTime now = sim_.Now();
+  // Prune senders whose last request predates the window, then count the
+  // survivors — the grant denominator. The map stays small (one entry per
+  // live sender machine), so the linear sweep is cheap.
+  size_t active = 0;
+  for (auto it = cc_senders_.begin(); it != cc_senders_.end();) {
+    if (now - it->second > config_.grant_sender_window) {
+      it = cc_senders_.erase(it);
+    } else {
+      ++active;
+      ++it;
+    }
+  }
+  size_t limit = config_.params.endpoint_queue_depth;
+  if (config_.admission.enabled && config_.admission.queue_depth_limit > 0) {
+    limit = std::min(limit, config_.admission.queue_depth_limit);
+  }
+  const size_t depth = ep.pending.size();
+  const size_t headroom = depth >= limit ? 0 : limit - depth;
+  const size_t share = headroom / std::max<size_t>(1, active);
+  return static_cast<uint16_t>(
+      std::min<size_t>(share, config_.grant_max));
 }
 
 void LauberhornNic::RouteCold(PreparedRequest request) {
@@ -984,6 +1014,24 @@ void LauberhornNic::TransmitResponse(const PreparedRequest& meta, RpcMessage res
       dedup_.Complete(flow, response.request_id, response);
     }
   }
+  // Congestion feedback (§15), attached after dedup caching so a replayed
+  // response carries the grant/echo of its *replay* time, not a stale one.
+  if (meta.ip.ecn != kEcnNotEct && response.kind == MessageKind::kResponse &&
+      !endpoints_[meta.endpoint].is_continuation) {
+    if (meta.ip.ecn == kEcnCe) {
+      // The request crossed a congested fabric queue: echo the mark so the
+      // sender's DCTCP loop sees it (the mark itself stays on the request).
+      response.flags |= kLrpcFlagEcnEcho;
+      ++stats_.ecn_echoes;
+    }
+    if (config_.grants_enabled && response.status != RpcStatus::kOverloaded) {
+      // A shed is push-back, not an invitation: grants ride only on
+      // successful responses.
+      response.flags |= kLrpcFlagGrant;
+      response.grant = ComputeGrant(endpoints_[meta.endpoint]);
+      ++stats_.grants_issued;
+    }
+  }
   Duration crypto_cost = 0;
   if (config_.crypto && !response.payload.empty()) {
     const uint32_t service_id = endpoints_[meta.endpoint].is_continuation
@@ -1001,6 +1049,9 @@ void LauberhornNic::TransmitResponse(const PreparedRequest& meta, RpcMessage res
   Ipv4Header ip;
   ip.src = meta.ip.dst;
   ip.dst = meta.ip.src;
+  // The response to an ECN-capable sender is itself ECT: fabric congestion
+  // on the return path is observable too.
+  ip.ecn = meta.ip.ecn != kEcnNotEct ? kEcnEct0 : kEcnNotEct;
   UdpHeader udp;
   udp.src_port = meta.udp.dst_port;
   udp.dst_port = meta.udp.src_port;

@@ -92,6 +92,15 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     // sojourn checks run before a request is queued, and sheds answer with a
     // NIC-generated kOverloaded reply at zero host-CPU cost.
     AdmissionConfig admission;
+    // Receiver-driven congestion control (DESIGN.md §15): every successful
+    // response to an ECN-capable sender carries a grant — the endpoint
+    // queue's free headroom divided by the senders seen within
+    // grant_sender_window — capping that sender's window at the share of the
+    // receive queue it can actually use. Sheds carry no grant (a shed is the
+    // opposite of an invitation to send). ECN-blind senders are unaffected.
+    bool grants_enabled = true;
+    Duration grant_sender_window = Microseconds(100);
+    uint16_t grant_max = 64;
   };
 
   struct Stats {
@@ -122,6 +131,10 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     uint64_t requests_shed_queue = 0;
     uint64_t requests_shed_quota = 0;
     uint64_t requests_shed_sojourn = 0;
+    // Congestion control (§15): grants attached to responses, and CE marks
+    // observed on request frames echoed back to the sender.
+    uint64_t grants_issued = 0;
+    uint64_t ecn_echoes = 0;
   };
 
   LauberhornNic(Simulator& sim, CoherentInterconnect& interconnect, PcieLink& pcie,
@@ -342,6 +355,10 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // DispatchLine describing the delivery.
   DispatchLine BuildDispatch(const Endpoint& ep, const PreparedRequest& request,
                              bool kernel_channel);
+  // Receiver-driven credit (§15): free queue headroom of this endpoint
+  // divided across the ECN-capable senders active within
+  // grant_sender_window. Prunes stale senders as a side effect.
+  uint16_t ComputeGrant(const Endpoint& ep);
 
   Simulator& sim_;
   CoherentInterconnect& interconnect_;
@@ -369,6 +386,9 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // config_.admission) and a sojourn gate over the shared cold queue.
   std::unordered_map<uint32_t, TokenBucket> service_quota_;
   SojournGate cold_sojourn_;
+  // ECN-capable senders (src ip -> last request arrival), the denominator of
+  // the per-sender grant.
+  std::unordered_map<uint32_t, SimTime> cc_senders_;
   Stats stats_;
   TraceRing trace_;
 };

@@ -178,6 +178,11 @@ Duration LinuxRpcStack::ShedFrame(uint32_t q, const ParsedFrame& frame,
   overload.service_id = request->service_id;
   overload.method_id = request->method_id;
   overload.request_id = request->request_id;
+  if (frame.ip.ecn == kEcnCe) {
+    // Host-side DCTCP fallback (§15): no grants here, but the CE mark the
+    // request picked up in the fabric is still echoed to the sender.
+    overload.flags |= kLrpcFlagEcnEcho;
+  }
   std::vector<uint8_t> payload;
   EncodeRpcMessage(overload, payload);
   EthernetHeader eth;
@@ -186,6 +191,7 @@ Duration LinuxRpcStack::ShedFrame(uint32_t q, const ParsedFrame& frame,
   Ipv4Header ip;
   ip.src = frame.ip.dst;
   ip.dst = frame.ip.src;
+  ip.ecn = frame.ip.ecn != kEcnNotEct ? kEcnEct0 : kEcnNotEct;
   UdpHeader udp;
   udp.src_port = frame.udp.dst_port;
   udp.dst_port = frame.udp.src_port;
@@ -336,13 +342,20 @@ void LinuxRpcStack::WorkerStep(ServiceState& state, Core& core) {
       }
       // Step 3: sendmsg syscall + copyin + driver TX.
       std::vector<uint8_t> payload;
-      EncodeRpcMessage(response, payload);
+      RpcMessage out_msg = response;
+      if (req_ip.ecn == kEcnCe) {
+        // Host-side DCTCP fallback (§15): echo the fabric's CE mark. No
+        // grants — the kernel has no NIC-resident queue-headroom view.
+        out_msg.flags |= kLrpcFlagEcnEcho;
+      }
+      EncodeRpcMessage(out_msg, payload);
       EthernetHeader eth;
       eth.dst = req_eth.src;
       eth.src = req_eth.dst;
       Ipv4Header ip;
       ip.src = req_ip.dst;
       ip.dst = req_ip.src;
+      ip.ecn = req_ip.ecn != kEcnNotEct ? kEcnEct0 : kEcnNotEct;
       UdpHeader udp;
       udp.src_port = req_udp.dst_port;
       udp.dst_port = req_udp.src_port;

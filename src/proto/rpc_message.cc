@@ -12,6 +12,10 @@ void EncodeRpcMessage(const RpcMessage& msg, std::vector<uint8_t>& out) {
   PutU16Le(out, static_cast<uint16_t>(msg.status));
   PutU64Le(out, msg.request_id);
   PutU32Le(out, static_cast<uint32_t>(msg.payload.size()));
+  out.push_back(msg.flags);
+  out.push_back(0);  // reserved
+  PutU16Le(out, msg.grant);
+  PutU32Le(out, 0);  // reserved2
   out.insert(out.end(), msg.payload.begin(), msg.payload.end());
 }
 
@@ -41,6 +45,15 @@ std::optional<RpcMessage> DecodeRpcMessage(std::span<const uint8_t> in) {
     return std::nullopt;
   }
   msg.status = static_cast<RpcStatus>(status);
+  if (off + 2 > in.size()) {
+    return std::nullopt;
+  }
+  msg.flags = in[off++];
+  ++off;  // reserved
+  uint32_t reserved2 = 0;
+  if (!GetU16Le(in, off, msg.grant) || !GetU32Le(in, off, reserved2)) {
+    return std::nullopt;
+  }
   if (off + payload_length > in.size()) {
     return std::nullopt;
   }
