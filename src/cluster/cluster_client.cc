@@ -128,7 +128,11 @@ void ClusterClient::OnOutcome(CallCtx* ctx, size_t replica_index,
       // replica is alive and serving.
       replica.timeout_streak = 0;
       BumpOverloadScore(replica, 0.0);  // decay only
-      if (!replica.up) {
+      // A served request clears kDown (the replica answered), but never
+      // kDegraded: that state is published by the replica's host during NIC
+      // recovery and only the host clears it — answers are expected while
+      // degraded, they are not evidence that recovery finished.
+      if (replica.health == ReplicaHealth::kDown) {
         directory_.MarkUp(ctx->service_id, replica_index);
       }
       if (response.status == RpcStatus::kOk) {

@@ -14,6 +14,18 @@ std::string ToString(PlacementKind placement) {
   return "?";
 }
 
+std::string ToString(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kUp:
+      return "up";
+    case ReplicaHealth::kDegraded:
+      return "degraded";
+    case ReplicaHealth::kDown:
+      return "down";
+  }
+  return "?";
+}
+
 std::function<size_t()> MakeLauberhornDepthProbe(Machine& machine,
                                                  const ServiceDef& service) {
   LauberhornNic* nic = machine.lauberhorn_nic();
@@ -68,7 +80,7 @@ std::vector<size_t> ServiceDirectory::Resolve(uint32_t service_id,
   eligible.reserve(it->second.size());
   for (size_t i = 0; i < it->second.size(); ++i) {
     const Replica& r = it->second[i];
-    if (r.up || now >= r.down_until) {
+    if (r.health != ReplicaHealth::kDown || now >= r.down_until) {
       eligible.push_back(i);
     }
   }
@@ -78,19 +90,27 @@ std::vector<size_t> ServiceDirectory::Resolve(uint32_t service_id,
 void ServiceDirectory::MarkDown(uint32_t service_id, size_t index,
                                 SimTime until) {
   Replica& r = replica(service_id, index);
-  if (r.up) {
+  if (r.health != ReplicaHealth::kDown) {
     ++stats_.marked_down;
   }
-  r.up = false;
+  r.health = ReplicaHealth::kDown;
   r.down_until = until;
+}
+
+void ServiceDirectory::MarkDegraded(uint32_t service_id, size_t index) {
+  Replica& r = replica(service_id, index);
+  if (r.health == ReplicaHealth::kUp) {
+    ++stats_.marked_degraded;
+    r.health = ReplicaHealth::kDegraded;
+  }
 }
 
 void ServiceDirectory::MarkUp(uint32_t service_id, size_t index) {
   Replica& r = replica(service_id, index);
-  if (!r.up) {
+  if (r.health != ReplicaHealth::kUp) {
     ++stats_.marked_up;
   }
-  r.up = true;
+  r.health = ReplicaHealth::kUp;
   r.down_until = 0;
   r.timeout_streak = 0;
 }

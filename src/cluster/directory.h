@@ -38,6 +38,19 @@ enum class PlacementKind {
 
 std::string ToString(PlacementKind placement);
 
+// Replica health as seen by the dispatch plane. kDegraded is the NIC-recovery
+// signal (DESIGN.md §16): the replica's machine is replaying its NIC shadow —
+// it still answers (retransmit + dedup carry requests across the blackout),
+// so it stays resolvable and keeps its hash-ring keys, but LeastLoaded
+// penalizes it until the host publishes recovery completion.
+enum class ReplicaHealth {
+  kUp,
+  kDegraded,
+  kDown,
+};
+
+std::string ToString(ReplicaHealth health);
+
 // Static identity + placement of one replica of a service.
 struct ReplicaInfo {
   uint32_t machine = 0;  // testbed machine index
@@ -102,8 +115,9 @@ class ServiceDirectory {
     ReplicaInfo info;
     // Health: a down replica is skipped by resolution until `down_until`,
     // after which it becomes probe-eligible again (the next pick may land on
-    // it; success marks it up).
-    bool up = true;
+    // it; success marks it up). A degraded replica stays eligible — policies
+    // read the state and steer around it without evicting its keys.
+    ReplicaHealth health = ReplicaHealth::kUp;
     SimTime down_until = 0;
     // Edge-observed load signals, maintained by ClusterClient.
     int outstanding = 0;          // in-flight requests placed on this replica
@@ -118,6 +132,7 @@ class ServiceDirectory {
   struct Stats {
     uint64_t resolutions = 0;
     uint64_t marked_down = 0;
+    uint64_t marked_degraded = 0;
     uint64_t marked_up = 0;
   };
 
@@ -136,6 +151,9 @@ class ServiceDirectory {
   std::vector<size_t> Resolve(uint32_t service_id, SimTime now);
 
   void MarkDown(uint32_t service_id, size_t index, SimTime until);
+  // Publishes NIC-recovery-in-progress: kUp -> kDegraded. A down replica
+  // stays down (degradation never upgrades health).
+  void MarkDegraded(uint32_t service_id, size_t index);
   void MarkUp(uint32_t service_id, size_t index);
 
   const Stats& stats() const { return stats_; }

@@ -76,6 +76,9 @@ double LeastLoadedPolicy::Score(const ServiceDirectory::Replica& r) const {
   if (r.info.placement == PlacementKind::kColdKernel) {
     score += weights_.cold_penalty;
   }
+  if (r.health == ReplicaHealth::kDegraded) {
+    score += weights_.degraded_penalty;
+  }
   return score;
 }
 

@@ -87,6 +87,10 @@ class LeastLoadedPolicy : public LbPolicy {
     // Cold-kernel placement penalty: nudges ties toward hot-user-poll
     // replicas, which serve with near-zero dispatch cost.
     double cold_penalty = 0.25;
+    // Penalty for kDegraded health (NIC recovery in progress): large enough
+    // to divert new work whenever any healthy replica exists, small enough
+    // that a degraded replica still beats an empty set.
+    double degraded_penalty = 50.0;
   };
 
   LeastLoadedPolicy() : weights_() {}

@@ -138,6 +138,23 @@ Machine::Machine(MachineConfig config, Simulator* shared_sim)
       lauberhorn_nic_->set_tx_wire(&wire_->b_to_a());
       wire_->a_to_b().set_sink(lauberhorn_nic_.get());
 
+      // §16: the OS's authoritative shadow of the NIC's control-plane state,
+      // written through on every mutation. The watchdog (heartbeat + reset +
+      // replay) runs only when a crash can actually happen (or is forced).
+      nic_shadow_ = std::make_unique<NicShadow>(nic_config.dedup_window);
+      nic_shadow_->RecordAdmission(nic_config.admission);
+      lauberhorn_nic_->set_shadow(nic_shadow_.get());
+      if ((faults_ != nullptr && config_.faults.nic_crash.Any()) ||
+          config_.nic_recovery_watchdog) {
+        NicRecoveryManager::Config recovery_config;
+        recovery_config.heartbeat_period = config_.nic_watchdog_period;
+        recovery_config.miss_threshold = config_.nic_watchdog_miss_threshold;
+        recovery_config.wedged_poll_threshold = config_.nic_watchdog_wedged_polls;
+        nic_recovery_ = std::make_unique<NicRecoveryManager>(
+            *sim_, *lauberhorn_nic_, *nic_shadow_, faults_.get(),
+            recovery_config);
+      }
+
       LauberhornRuntime::Config runtime_config = config_.runtime;
       runtime_config.dma_region_base = kDmaRegionBase;
       runtime_config.machine_index = config_.machine_index;
@@ -396,6 +413,9 @@ void Machine::ExportMetrics(MetricsRegistry& metrics,
     C("nic/degradations", s.degradations);
     C("nic/grants_issued", s.grants_issued);
     C("nic/ecn_echoes", s.ecn_echoes);
+    C("nic/drops_nic_down", s.drops_nic_down);
+    C("nic/crashed_polls", s.crashed_polls);
+    C("nic/resets", s.nic_resets);
     C("overload/sheds_queue", s.requests_shed_queue);
     C("overload/sheds_quota", s.requests_shed_quota);
     C("overload/sheds_sojourn", s.requests_shed_sojourn);
@@ -443,8 +463,30 @@ void Machine::ExportMetrics(MetricsRegistry& metrics,
     C("fault/dma_errors", f.dma_errors);
     C("fault/os_crashes", f.os_crashes);
     C("fault/nic_wedges", f.nic_wedges);
+    C("fault/nic_crashes", f.nic_crashes);
     C("fault/cc_grant_losses", f.cc_grant_losses);
     C("fault/cc_ecn_corruptions", f.cc_ecn_corruptions);
+  }
+  if (nic_shadow_ != nullptr) {
+    C("recovery/shadow_writes", nic_shadow_->writes());
+    G("recovery/shadow_endpoints", static_cast<double>(nic_shadow_->endpoint_count()));
+    G("recovery/shadow_dedup_entries", static_cast<double>(nic_shadow_->dedup_count()));
+  }
+  if (nic_recovery_ != nullptr) {
+    const NicRecoveryManager::Stats& r = nic_recovery_->stats();
+    C("recovery/heartbeats", r.heartbeats);
+    C("recovery/watchdog_fires", r.watchdog_fires);
+    C("recovery/recoveries", r.recoveries);
+    C("recovery/replayed_endpoints", r.replayed_endpoints);
+    C("recovery/replayed_kernel_channels", r.replayed_kernel_channels);
+    C("recovery/replayed_continuations", r.replayed_continuations);
+    C("recovery/replayed_dedup_completed", r.replayed_dedup_completed);
+    C("recovery/replayed_dedup_in_flight", r.replayed_dedup_in_flight);
+    C("recovery/dropped_undelivered", r.dropped_undelivered);
+    G("recovery/last_blackout_us", static_cast<double>(r.last_blackout) /
+                                       static_cast<double>(Microseconds(1)));
+    G("recovery/total_blackout_us", static_cast<double>(r.total_blackout) /
+                                        static_cast<double>(Microseconds(1)));
   }
   if (spans_ != nullptr) {
     C("span/completed", spans_->completed().size());

@@ -32,6 +32,7 @@
 #include "src/nic/lauberhorn_nic.h"
 #include "src/nic/lauberhorn_runtime.h"
 #include "src/nic/linux_stack.h"
+#include "src/nic/shadow.h"
 #include "src/os/kernel.h"
 #include "src/overload/overload.h"
 #include "src/pcie/iommu.h"
@@ -113,6 +114,14 @@ struct MachineConfig {
   // the injector is wired into the wire, interconnect, IOMMU, PCIe, and the
   // active NIC, with per-layer forked random streams.
   FaultPlan faults;
+  // NIC hot recovery (src/nic/shadow, DESIGN.md §16). On the Lauberhorn
+  // stack the OS always keeps a write-through NicShadow; the watchdog
+  // manager (heartbeats + reset + shadow replay) additionally runs when the
+  // fault plan schedules NIC crashes, or when forced on here.
+  bool nic_recovery_watchdog = false;
+  Duration nic_watchdog_period = Microseconds(20);
+  int nic_watchdog_miss_threshold = 2;
+  uint64_t nic_watchdog_wedged_polls = 16;
   // Records the machine's wire-level event order (request arrivals and
   // response departures, with timestamps and request ids) — the observable
   // the PDES determinism oracle compares between sequential and sharded
@@ -171,6 +180,11 @@ class Machine {
   FaultInjector* fault_injector() { return faults_.get(); }
   // Null unless config.enable_spans.
   SpanCollector* spans() { return spans_.get(); }
+  // Lauberhorn only: the OS's write-through NIC shadow (always present) and
+  // the watchdog recovery manager (null unless a NIC-crash plan is active or
+  // config.nic_recovery_watchdog forces it on).
+  NicShadow* nic_shadow() { return nic_shadow_.get(); }
+  NicRecoveryManager* nic_recovery() { return nic_recovery_.get(); }
 
   // -- Measurement -----------------------------------------------------------
 
@@ -227,6 +241,8 @@ class Machine {
   std::unique_ptr<BypassRuntime> bypass_;
   std::unique_ptr<LauberhornNic> lauberhorn_nic_;
   std::unique_ptr<LauberhornRuntime> lauberhorn_runtime_;
+  std::unique_ptr<NicShadow> nic_shadow_;
+  std::unique_ptr<NicRecoveryManager> nic_recovery_;
   std::unique_ptr<RpcClient> client_;
 
   std::unordered_map<uint32_t, std::vector<uint32_t>> service_endpoints_;

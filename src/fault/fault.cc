@@ -39,6 +39,27 @@ FaultPlan FaultPlan::Canonical(double intensity, uint64_t seed) {
   return plan;
 }
 
+FaultPlan FaultPlan::Chaos(double intensity, uint64_t seed) {
+  FaultPlan plan = Canonical(intensity, seed);
+  if (intensity <= 0.0) {
+    return plan;
+  }
+  auto prob = [intensity](double base) {
+    const double p = base * intensity;
+    return p < 1.0 ? p : 1.0;
+  };
+  // The transport feedback loop corrupts too: lost grants force the DCTCP
+  // fallback, flipped ECN echoes mis-steer the window.
+  plan.cc.grant_loss_probability = prob(0.02);
+  plan.cc.ecn_corrupt_probability = prob(0.01);
+  // Whole-NIC firmware crashes, offset from the OS crash schedule so the two
+  // outages interleave rather than coincide (both paths get exercised).
+  plan.nic_crash.first_crash_at = Milliseconds(8);
+  plan.nic_crash.crash_period = Milliseconds(17);
+  plan.nic_crash.reset_latency = Microseconds(80);
+  return plan;
+}
+
 FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
     : sim_(sim),
       plan_(plan),
@@ -161,6 +182,40 @@ bool FaultInjector::OsServiceUp() {
     ++stats_.os_crashes;
   }
   return !down;
+}
+
+bool FaultInjector::NicDeviceCrashed() {
+  if (plan_.nic_crash.first_crash_at <= 0) {
+    return false;
+  }
+  const SimTime now = sim_.Now();
+  if (now < plan_.nic_crash.first_crash_at) {
+    return false;
+  }
+  // Most recent scheduled crash instant at or before `now` — pure arithmetic,
+  // so callers in any order see a consistent view and no RNG stream is drawn.
+  SimTime crash_at;
+  if (plan_.nic_crash.crash_period > 0) {
+    const int64_t index =
+        (now - plan_.nic_crash.first_crash_at) / plan_.nic_crash.crash_period;
+    crash_at = plan_.nic_crash.first_crash_at + index * plan_.nic_crash.crash_period;
+  } else {
+    crash_at = plan_.nic_crash.first_crash_at;
+  }
+  // The host already recovered from this instant; only a strictly later
+  // scheduled crash re-kills the device.
+  if (crash_at <= nic_crash_cleared_until_) {
+    return false;
+  }
+  if (crash_at != last_counted_nic_crash_) {
+    last_counted_nic_crash_ = crash_at;
+    ++stats_.nic_crashes;
+  }
+  return true;
+}
+
+void FaultInjector::NicDeviceRecovered() {
+  nic_crash_cleared_until_ = sim_.Now();
 }
 
 bool FaultInjector::NicEndpointWedged(uint32_t endpoint) {

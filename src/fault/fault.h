@@ -96,6 +96,22 @@ struct NicFaultPlan {
   bool Any() const { return wedge_probability > 0.0; }
 };
 
+// Whole-NIC crash faults: the Lauberhorn firmware dies on a deterministic
+// schedule (like OsFaultPlan's crash windows). Unlike a wedged CONTROL line,
+// a crash blackholes the entire device — every endpoint, the admission plane
+// and grant computation — and wipes its volatile state (endpoint table,
+// dedup cache, admission config). Recovery is *host-driven*: the OS watchdog
+// detects the dead device, holds it in reset for `reset_latency`, and
+// replays the NicShadow into it. The injector only declares the crash
+// instant; NicDeviceRecovered() is how the host ends the outage.
+struct NicCrashFaultPlan {
+  Duration first_crash_at = 0;  // 0 = never crash
+  Duration crash_period = 0;    // 0 = crash once; else every period
+  Duration reset_latency = Microseconds(50);  // device reset/firmware reload
+
+  bool Any() const { return first_crash_at > 0; }
+};
+
 // Congestion-control faults, applied at the client's response-processing
 // edge: a grant register write that never lands (the credit is lost and the
 // sender must fall back to its local DCTCP window / retransmit ladder), and
@@ -117,12 +133,13 @@ struct FaultPlan {
   PcieFaultPlan pcie;
   OsFaultPlan os;
   NicFaultPlan nic;
+  NicCrashFaultPlan nic_crash;
   CcFaultPlan cc;
   uint64_t seed = 1;  // root of the per-layer Rng streams
 
   bool Any() const {
     return net.Any() || coherence.Any() || pcie.Any() || os.Any() ||
-           nic.Any() || cc.Any();
+           nic.Any() || nic_crash.Any() || cc.Any();
   }
 
   // The canonical mixed plan used by bench/fault_resilience: every layer's
@@ -130,6 +147,12 @@ struct FaultPlan {
   // nominal adverse-conditions point). Kept here so tests and the bench agree
   // on what "intensity" means.
   static FaultPlan Canonical(double intensity, uint64_t seed);
+
+  // Everything at once: Canonical's layers plus CC feedback corruption and
+  // periodic whole-NIC crashes. This is the chaos-campaign plan used by
+  // bench/nic_recovery --chaos; the invariants (zero duplicate executions,
+  // accounted spans, termination) must hold under it for any seed.
+  static FaultPlan Chaos(double intensity, uint64_t seed);
 };
 
 class FaultInjector {
@@ -146,6 +169,7 @@ class FaultInjector {
     uint64_t dma_errors = 0;
     uint64_t os_crashes = 0;
     uint64_t nic_wedges = 0;
+    uint64_t nic_crashes = 0;
     uint64_t cc_grant_losses = 0;
     uint64_t cc_ecn_corruptions = 0;
   };
@@ -186,6 +210,18 @@ class FaultInjector {
   // Pure query: is the endpoint currently inside a wedge window?
   bool NicEndpointWedgedNow(uint32_t endpoint) const;
 
+  // --- nic crash (whole device) ---
+  // True while the NIC device is dead at the current simulated time. The
+  // crash *onset* is pure arithmetic on Now() (like OsServiceUp), but the
+  // outage does not end on its own: once a crash instant passes, the device
+  // stays dead until the host calls NicDeviceRecovered(). Counts each
+  // distinct crash instant once.
+  bool NicDeviceCrashed();
+  // Host-driven recovery: the watchdog finished reset + shadow replay. Ends
+  // the current outage; a periodic plan can still fire again at a strictly
+  // later crash instant.
+  void NicDeviceRecovered();
+
   // --- congestion control (client response edge) ---
   bool CcShouldLoseGrant();
   bool CcShouldCorruptEcn();
@@ -203,6 +239,10 @@ class FaultInjector {
   bool net_bad_state_ = false;
   uint32_t iommu_burst_left_ = 0;
   SimTime last_counted_crash_ = -1;
+  SimTime last_counted_nic_crash_ = -1;
+  // Crash instants at or before this time have been recovered from; only a
+  // strictly later scheduled instant re-kills the device.
+  SimTime nic_crash_cleared_until_ = -1;
   std::unordered_map<uint32_t, SimTime> nic_wedged_until_;
 };
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/fault/fault.h"
+#include "src/nic/shadow.h"
 
 namespace lauberhorn {
 
@@ -45,6 +46,9 @@ std::optional<uint32_t> LauberhornNic::AllocateContinuation() {
   const uint32_t id = free_continuations_.back();
   free_continuations_.pop_back();
   endpoints_[id].in_use = true;
+  if (shadow_ != nullptr) {
+    shadow_->RecordContinuationAllocated(id);
+  }
   return id;
 }
 
@@ -56,10 +60,21 @@ void LauberhornNic::FreeContinuation(uint32_t endpoint) {
   ep.pending.clear();
   ep.outstanding.reset();
   free_continuations_.push_back(endpoint);
+  if (shadow_ != nullptr) {
+    shadow_->RecordContinuationFreed(endpoint);
+  }
 }
 
 void LauberhornNic::ClientTransmit(uint32_t continuation, uint32_t dst_ip,
                                    uint16_t dst_port, RpcMessage request) {
+  if (!CheckDeviceUp()) {
+    // Nested-RPC TX on a dead device: the request is lost. The caller parks
+    // on its continuation line and spins on TRYAGAIN until recovery; nested
+    // requests have no retransmit layer, so this core's RPC is forfeited
+    // (documented §16 limitation — recovery benches avoid nested calls).
+    ++stats_.drops_nic_down;
+    return;
+  }
   const Endpoint& cont = endpoints_[continuation];
   assert(cont.is_continuation && cont.in_use);
   const bool local = dst_ip == 0 || dst_ip == config_.own_ip;
@@ -161,6 +176,10 @@ uint32_t LauberhornNic::AllocateEndpoint(uint32_t service_id, Pid pid, uint64_t 
   const ServiceDef* service = services_.Find(service_id);
   assert(service != nullptr && "endpoint for unknown service");
   port_to_endpoints_[service->udp_port].push_back(id);
+  if (shadow_ != nullptr) {
+    shadow_->RecordEndpoint({id, service_id, pid, code_ptr, data_ptr,
+                             dma_buffer_iova});
+  }
   return id;
 }
 
@@ -168,7 +187,113 @@ uint32_t LauberhornNic::AllocateKernelChannel() {
   assert(next_kernel_channel_ < config_.num_kernel_channels && "out of channels");
   const uint32_t id = next_kernel_channel_++;
   endpoints_[id].in_use = true;
+  if (shadow_ != nullptr) {
+    shadow_->RecordKernelChannel(id);
+  }
   return id;
+}
+
+// -- Crash / recovery (§16) ----------------------------------------------------
+
+bool LauberhornNic::CheckDeviceUp() {
+  if (device_up_ && faults_ != nullptr && faults_->NicDeviceCrashed()) {
+    CrashNow();
+  }
+  return device_up_;
+}
+
+void LauberhornNic::CrashNow() {
+  device_up_ = false;
+  trace_.Emit(sim_.Now(), TraceEvent::kNicCrash, 0, 0);
+  // Parked loads must not strand their cores: the coherence bus-timeout path
+  // answers them with TRYAGAIN, exactly as a wedged line would. The runtime
+  // loops re-park and keep getting TRYAGAINs (counted as crashed_polls)
+  // until the host replays the shadow.
+  for (Endpoint& ep : endpoints_) {
+    if (ep.waiting.has_value()) {
+      FillWaiting(ep, LineKind::kTryAgain);
+    }
+  }
+  // Volatile device state dies with the firmware. Structural identity (line
+  // addresses, continuation ports) is part of the address map and survives.
+  for (Endpoint& ep : endpoints_) {
+    const uint32_t id = ep.id;
+    const bool is_kernel = ep.is_kernel;
+    const bool is_continuation = ep.is_continuation;
+    ep = Endpoint{};
+    ep.id = id;
+    ep.is_kernel = is_kernel;
+    ep.is_continuation = is_continuation;
+  }
+  port_to_endpoints_.clear();
+  free_continuations_.clear();
+  const size_t first_continuation =
+      config_.num_kernel_channels + config_.num_endpoints;
+  for (size_t i = first_continuation; i < endpoints_.size(); ++i) {
+    const auto port = static_cast<uint16_t>(config_.continuation_port_base +
+                                            (i - first_continuation));
+    port_to_endpoints_[port].push_back(endpoints_[i].id);
+    free_continuations_.push_back(endpoints_[i].id);
+  }
+  line_store_.clear();
+  cold_queue_.clear();
+  cold_inflight_.clear();
+  next_service_endpoint_ = 0;
+  next_kernel_channel_ = 0;
+  service_quota_.clear();
+  cc_senders_.clear();
+  dedup_ = RpcDedupCache(config_.dedup_window);
+  grant_ramp_until_ = 0;
+}
+
+void LauberhornNic::CompleteReset() {
+  device_up_ = true;
+  ++stats_.nic_resets;
+  grant_ramp_until_ = sim_.Now() + config_.grant_ramp_window;
+  trace_.Emit(sim_.Now(), TraceEvent::kNicReset, 0, 0);
+}
+
+void LauberhornNic::RestoreEndpoint(uint32_t id, uint32_t service_id, Pid pid,
+                                    uint64_t code_ptr, uint64_t data_ptr,
+                                    uint64_t dma_buffer_iova) {
+  Endpoint& ep = endpoints_[id];
+  ep.in_use = true;
+  ep.service_id = service_id;
+  ep.pid = pid;
+  ep.code_ptr = code_ptr;
+  ep.data_ptr = data_ptr;
+  ep.dma_buffer_iova = dma_buffer_iova;
+  const ServiceDef* service = services_.Find(service_id);
+  assert(service != nullptr && "replayed endpoint for unknown service");
+  port_to_endpoints_[service->udp_port].push_back(id);
+  const uint32_t index = id - static_cast<uint32_t>(config_.num_kernel_channels);
+  next_service_endpoint_ = std::max(next_service_endpoint_, index + 1);
+}
+
+void LauberhornNic::RestoreKernelChannel(uint32_t id) {
+  endpoints_[id].in_use = true;
+  next_kernel_channel_ = std::max(next_kernel_channel_, id + 1);
+}
+
+void LauberhornNic::RestoreContinuation(uint32_t id) {
+  endpoints_[id].in_use = true;
+  free_continuations_.erase(
+      std::remove(free_continuations_.begin(), free_continuations_.end(), id),
+      free_continuations_.end());
+}
+
+void LauberhornNic::RestoreAdmission(const AdmissionConfig& admission) {
+  config_.admission = admission;
+}
+
+void LauberhornNic::RestoreDedupInFlight(uint64_t flow, uint64_t request_id) {
+  dedup_.Admit(flow, request_id);  // in flight, never evicted
+}
+
+void LauberhornNic::RestoreDedupCompleted(uint64_t flow, uint64_t request_id,
+                                          const RpcMessage& response) {
+  dedup_.Admit(flow, request_id);
+  dedup_.Complete(flow, request_id, response);
 }
 
 void LauberhornNic::ActivateEndpoint(uint32_t endpoint, int core) {
@@ -246,6 +371,13 @@ void LauberhornNic::ReceivePacket(Packet packet) {
                               3 * config_.pipeline.parse_per_header +
                               config_.pipeline.demux_lookup;
   sim_.Schedule(front_cost, [this, arrival, packet = std::move(packet)]() mutable {
+    if (!CheckDeviceUp()) {
+      // NIC firmware crash (§16): the whole device blackholes — endpoints,
+      // admission, grants. The host watchdog + shadow replay end the outage;
+      // client retransmits carry the RPCs over it.
+      ++stats_.drops_nic_down;
+      return;
+    }
     if (faults_ != nullptr && !faults_->OsServiceUp()) {
       // OS crash window: the NIC is alive but nothing above it is. Inbound
       // traffic blackholes until the service stack restarts; the client's
@@ -343,6 +475,9 @@ void LauberhornNic::ReceivePacket(Packet packet) {
       const uint64_t flow = DedupFlowKey(frame->ip.src, frame->udp.src_port);
       switch (dedup_.Admit(flow, request->request_id)) {
         case RpcDedupCache::Verdict::kNew:
+          if (shadow_ != nullptr) {
+            shadow_->DedupAdmit(flow, request->request_id);
+          }
           break;
         case RpcDedupCache::Verdict::kInFlight:
           // The original is still executing; its response answers this copy.
@@ -456,6 +591,13 @@ void LauberhornNic::MaybeRestartCold(Endpoint& ep) {
 }
 
 void LauberhornNic::DispatchPrepared(PreparedRequest request) {
+  if (!CheckDeviceUp()) {
+    // The crash landed between the RX front end and dispatch: this request
+    // died inside the device pipeline. Its dedup entry was wiped with the
+    // cache, so a retransmit executes fresh.
+    ++stats_.drops_nic_down;
+    return;
+  }
   Endpoint& ep = endpoints_[request.endpoint];
   if (ep.is_continuation) {
     // One-shot reply delivery: fill the parked load, or hold until the core
@@ -619,7 +761,14 @@ uint16_t LauberhornNic::ComputeGrant(const Endpoint& ep) {
   }
   const size_t depth = ep.pending.size();
   const size_t headroom = depth >= limit ? 0 : limit - depth;
-  const size_t share = headroom / std::max<size_t>(1, active);
+  size_t share = headroom / std::max<size_t>(1, active);
+  if (grant_ramp_until_ > now) {
+    // Post-reset ramp (§16): senders may still hold grants issued by the
+    // pre-crash NIC against queues that no longer exist. Capping fresh
+    // grants at the unscheduled window until the ramp expires bounds the
+    // combined over-admission to one window per sender.
+    share = std::min<size_t>(share, config_.grant_reset_cap);
+  }
   return static_cast<uint16_t>(
       std::min<size_t>(share, config_.grant_max));
 }
@@ -733,6 +882,12 @@ void LauberhornNic::DeliverToWaiting(Endpoint& ep, PreparedRequest request) {
   if (spans_ != nullptr && !ep.is_continuation) {
     spans_->Record(request.request_id, SpanStage::kDelivered, sim_.Now());
   }
+  if (shadow_ != nullptr && config_.dedup && !ep.is_continuation) {
+    // The request is about to reach a handler: from here on a crash must
+    // restore it as in-flight (executed-but-response-lost), never re-run it.
+    shadow_->DedupDelivered(DedupFlowKey(request.ip.src, request.udp.src_port),
+                            request.request_id);
+  }
   ep.tryagain_streak = 0;  // the hot path is making progress
   WaitingLoad waiting = std::move(*ep.waiting);
   ep.waiting.reset();
@@ -760,6 +915,10 @@ void LauberhornNic::DeliverToKernelChannel(Endpoint& channel, PreparedRequest re
   assert(channel.waiting.has_value());
   if (spans_ != nullptr) {
     spans_->Record(request.request_id, SpanStage::kDelivered, sim_.Now());
+  }
+  if (shadow_ != nullptr && config_.dedup) {
+    shadow_->DedupDelivered(DedupFlowKey(request.ip.src, request.udp.src_port),
+                            request.request_id);
   }
   WaitingLoad waiting = std::move(*channel.waiting);
   channel.waiting.reset();
@@ -870,6 +1029,16 @@ void LauberhornNic::OnHomeRead(AgentId requester, LineAddr addr, bool exclusive,
 
 void LauberhornNic::HandleCtrlPoll(Endpoint& ep, int parity, AgentId requester,
                                    FillFn fill) {
+  if (!CheckDeviceUp()) {
+    // Dead device: the fill engine is gone, but the bus-timeout machinery
+    // still answers parked loads with TRYAGAIN, so polling cores spin
+    // through the outage instead of stranding. The burst of crashed_polls
+    // is the watchdog's second detection signal.
+    ++stats_.crashed_polls;
+    ep.waiting = WaitingLoad{std::move(fill), requester, parity, kInvalidEventId};
+    ArmTryagain(ep);
+    return;
+  }
   // A load on the *other* control line signals that the response to the
   // outstanding request is ready in its line: collect and transmit it.
   if (ep.outstanding.has_value() && ep.outstanding->parity != parity) {
@@ -1002,16 +1171,29 @@ void LauberhornNic::CollectResponse(Endpoint& ep, OutstandingRequest outstanding
 }
 
 void LauberhornNic::TransmitResponse(const PreparedRequest& meta, RpcMessage response) {
+  if (!CheckDeviceUp()) {
+    // A response path (cold SoftwareTransmit, DMA completion, AUX fetch)
+    // that outlived the firmware: the TX engine is dead, the response is
+    // lost. The shadow's kDelivered rule keeps at-most-once intact.
+    ++stats_.drops_nic_down;
+    return;
+  }
   if (config_.dedup && !endpoints_[meta.endpoint].is_continuation &&
       response.kind == MessageKind::kResponse) {
     const uint64_t flow = DedupFlowKey(meta.ip.src, meta.udp.src_port);
     if (response.status == RpcStatus::kOverloaded) {
       // Shed, not executed: forget the entry so a retransmit runs fresh.
       dedup_.Abort(flow, response.request_id);
+      if (shadow_ != nullptr) {
+        shadow_->DedupAbort(flow, response.request_id);
+      }
     } else {
       // Cache pre-seal so replays re-seal with a fresh pass through this
       // function. Idempotent for replayed responses.
       dedup_.Complete(flow, response.request_id, response);
+      if (shadow_ != nullptr) {
+        shadow_->DedupComplete(flow, response.request_id, response);
+      }
     }
   }
   // Congestion feedback (§15), attached after dedup caching so a replayed

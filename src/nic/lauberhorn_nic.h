@@ -49,6 +49,8 @@
 
 namespace lauberhorn {
 
+class NicShadow;
+
 // How the NIC moves payloads that exceed the AUX capacity.
 enum class LargeTransferPolicy {
   kAuto,            // cache lines up to dma_fallback_bytes, then DMA (§6)
@@ -101,6 +103,12 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     bool grants_enabled = true;
     Duration grant_sender_window = Microseconds(100);
     uint16_t grant_max = 64;
+    // Post-reset grant ramp (DESIGN.md §16): after a crash recovery, grants
+    // are capped at the unscheduled window (the client's cc_initial_window)
+    // for grant_ramp_window, so stale credits issued by the dead NIC plus
+    // fresh ones cannot jointly over-admit into the reborn queues.
+    uint16_t grant_reset_cap = 8;
+    Duration grant_ramp_window = Microseconds(100);
   };
 
   struct Stats {
@@ -135,6 +143,12 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     // observed on request frames echoed back to the sender.
     uint64_t grants_issued = 0;
     uint64_t ecn_echoes = 0;
+    // Whole-NIC crash recovery (§16): packets blackholed while the device is
+    // dead, CONTROL polls answered only by the bus-timeout TRYAGAIN path
+    // (the watchdog's wedged-poll signal), and completed host-driven resets.
+    uint64_t drops_nic_down = 0;
+    uint64_t crashed_polls = 0;
+    uint64_t nic_resets = 0;
   };
 
   LauberhornNic(Simulator& sim, CoherentInterconnect& interconnect, PcieLink& pcie,
@@ -148,6 +162,34 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
   // Per-request span tracing: the NIC stamps admission/dispatch/delivery.
   void set_span_collector(SpanCollector* spans) { spans_ = spans; }
+  // OS-side write-through shadow (src/nic/shadow): mirrors every
+  // control-plane mutation and dedup transition so the host can rebuild the
+  // device after a crash.
+  void set_shadow(NicShadow* shadow) { shadow_ = shadow; }
+
+  // -- Crash / recovery (§16) ----------------------------------------------
+
+  // Watchdog probe: a live device answers (true). The probe also performs
+  // the lazy crash check against the fault plan, so a crash whose instant
+  // has passed is detected here even on an idle machine.
+  bool HeartbeatProbe() { return CheckDeviceUp(); }
+  bool device_up() const { return device_up_; }
+  // Host-driven reset completion: the device is reborn empty (the crash
+  // already wiped all volatile state) and grants ramp from grant_reset_cap.
+  // The caller (NicRecoveryManager) replays the shadow immediately after.
+  void CompleteReset();
+  // Shadow replay entry points. Restore* reconstruct control-plane state
+  // exactly as the original Allocate* calls built it, without re-recording
+  // into the shadow.
+  void RestoreEndpoint(uint32_t id, uint32_t service_id, Pid pid,
+                       uint64_t code_ptr, uint64_t data_ptr,
+                       uint64_t dma_buffer_iova);
+  void RestoreKernelChannel(uint32_t id);
+  void RestoreContinuation(uint32_t id);
+  void RestoreAdmission(const AdmissionConfig& admission);
+  void RestoreDedupInFlight(uint64_t flow, uint64_t request_id);
+  void RestoreDedupCompleted(uint64_t flow, uint64_t request_id,
+                             const RpcMessage& response);
 
   // -- Address layout ------------------------------------------------------
 
@@ -359,6 +401,14 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // divided across the ECN-capable senders active within
   // grant_sender_window. Prunes stale senders as a side effect.
   uint16_t ComputeGrant(const Endpoint& ep);
+  // Lazy crash detection (§16): consults the fault plan and, on the first
+  // sighting of a new crash instant, wipes the device. Returns device_up_.
+  bool CheckDeviceUp();
+  // The firmware died: answer every parked load with TRYAGAIN (the
+  // bus-timeout model keeps cores from stranding), then wipe all volatile
+  // state — endpoint table, line store, queues, dedup cache, admission
+  // buckets, grant state — exactly what the shadow exists to rebuild.
+  void CrashNow();
 
   Simulator& sim_;
   CoherentInterconnect& interconnect_;
@@ -369,7 +419,13 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   LinkDirection* tx_wire_ = nullptr;
   FaultInjector* faults_ = nullptr;
   SpanCollector* spans_ = nullptr;
+  NicShadow* shadow_ = nullptr;
   RpcDedupCache dedup_;
+  // §16: false between a crash and the host-driven CompleteReset().
+  bool device_up_ = true;
+  // Grants are clamped to grant_reset_cap until this instant (post-reset
+  // ramp); 0 = no ramp active.
+  SimTime grant_ramp_until_ = 0;
 
   std::vector<Endpoint> endpoints_;  // [0, num_kernel_channels) are kernel
   // A service may have several endpoints (one per core it can occupy); the

@@ -1,0 +1,185 @@
+// OS-shadowed NIC state + watchdog-driven hot recovery (DESIGN.md §16).
+//
+// The paper's claim is that NIC state (endpoint tables, protocol state,
+// scheduling policy) *is* OS state — so when the NIC itself dies, the OS is
+// the recovery authority, not device firmware. Two pieces implement that:
+//
+//  * NicShadow — the host's authoritative, write-through copy of everything
+//    the NIC holds that cannot be regenerated from a packet: the endpoint
+//    table (service bindings, code/data pointers, DMA buffer IOVAs), kernel
+//    channel and continuation allocations, the admission config pushed into
+//    the device, and the at-most-once dedup cache. Every control-plane
+//    mutation and every dedup transition mirrors here synchronously (the
+//    host either originated the write or observes it via a coherent mirror
+//    region — both are one-store cheap).
+//
+//  * NicRecoveryManager — the host-side watchdog. It heartbeats the device;
+//    consecutive missed heartbeats (or a burst of wedged polls) trigger a
+//    reset: hold the device in reset for the configured latency, replay the
+//    shadow into the reborn NIC, re-arm grants at the unscheduled window so
+//    stale credits cannot over-admit, and let the client retransmit + dedup
+//    path carry the blackout so at-most-once holds end to end.
+//
+// Dedup replay is the subtle part. At crash time an admitted request is in
+// one of three shadow states, each with a distinct replay rule:
+//
+//   kCompleted — response known: replay as completed, retransmits get the
+//                cached response (never re-execute).
+//   kDelivered — a handler saw it, but its response died with the NIC:
+//                replay as *in-flight* so retransmits are dropped; the
+//                client times out. Goodput loss, but never a second
+//                execution.
+//   kInFlight  — admitted, never delivered to a handler: drop the entry so
+//                a retransmit executes fresh (first execution).
+#ifndef SRC_NIC_SHADOW_H_
+#define SRC_NIC_SHADOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/os/kernel.h"
+#include "src/overload/overload.h"
+#include "src/proto/rpc_message.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace lauberhorn {
+
+class LauberhornNic;
+class FaultInjector;
+
+class NicShadow {
+ public:
+  struct EndpointRecord {
+    uint32_t id = 0;
+    uint32_t service_id = 0;
+    Pid pid = kNoPid;
+    uint64_t code_ptr = 0;
+    uint64_t data_ptr = 0;
+    uint64_t dma_buffer_iova = 0;
+  };
+
+  enum class DedupState : uint8_t {
+    kInFlight = 0,   // admitted, not yet handed to a handler
+    kDelivered = 1,  // a handler saw it; response fate unknown at crash
+    kCompleted = 2,  // response cached
+  };
+
+  struct ReplayCounts {
+    uint64_t endpoints = 0;
+    uint64_t kernel_channels = 0;
+    uint64_t continuations = 0;
+    uint64_t dedup_completed = 0;
+    uint64_t dedup_in_flight = 0;  // kDelivered entries pinned in flight
+    uint64_t dedup_dropped = 0;    // undelivered entries forgotten
+  };
+
+  explicit NicShadow(size_t dedup_window = 1024)
+      : dedup_window_(dedup_window) {}
+
+  // --- write-through mirror (called by the NIC / control plane) ---
+  void RecordEndpoint(const EndpointRecord& record);
+  void RecordKernelChannel(uint32_t id);
+  void RecordContinuationAllocated(uint32_t id);
+  void RecordContinuationFreed(uint32_t id);
+  void RecordAdmission(const AdmissionConfig& admission);
+  void DedupAdmit(uint64_t flow, uint64_t request_id);
+  void DedupDelivered(uint64_t flow, uint64_t request_id);
+  void DedupComplete(uint64_t flow, uint64_t request_id,
+                     const RpcMessage& response);
+  void DedupAbort(uint64_t flow, uint64_t request_id);
+
+  // Replays the full shadow into a reborn (post-reset) NIC and applies the
+  // dedup replay rules above. kDelivered entries are re-marked kCompleted
+  // in the shadow with a synthetic status so a *second* crash does not
+  // re-pin them (their loss is already accounted).
+  ReplayCounts ReplayInto(LauberhornNic& nic);
+
+  size_t endpoint_count() const { return endpoints_.size(); }
+  size_t kernel_channel_count() const { return kernel_channels_.size(); }
+  size_t continuation_count() const { return continuations_.size(); }
+  size_t dedup_count() const { return dedup_.size(); }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  struct DedupEntry {
+    DedupState state = DedupState::kInFlight;
+    RpcMessage response;  // valid when kCompleted
+  };
+
+  size_t dedup_window_;
+  std::vector<EndpointRecord> endpoints_;  // in allocation order
+  std::vector<uint32_t> kernel_channels_;  // in allocation order
+  std::vector<uint32_t> continuations_;    // currently allocated
+  AdmissionConfig admission_;
+  bool admission_recorded_ = false;
+  // Ordered map: replay order is deterministic regardless of insert order.
+  std::map<std::pair<uint64_t, uint64_t>, DedupEntry> dedup_;
+  std::deque<std::pair<uint64_t, uint64_t>> completed_order_;  // FIFO bound
+  uint64_t writes_ = 0;  // control-plane mutations mirrored (all kinds)
+};
+
+// Host-side watchdog: heartbeats the NIC, declares it dead after
+// `miss_threshold` consecutive missed beats (or a `wedged_poll_threshold`
+// burst of polls answered by a dead device between two beats), then drives
+// reset + shadow replay. The reset latency comes from the fault plan (it is
+// a property of the injected crash), falling back to `default_reset_latency`
+// when no injector is wired.
+class NicRecoveryManager {
+ public:
+  struct Config {
+    Duration heartbeat_period = Microseconds(20);
+    int miss_threshold = 2;
+    uint64_t wedged_poll_threshold = 16;
+    Duration default_reset_latency = Microseconds(50);
+  };
+
+  struct Stats {
+    uint64_t heartbeats = 0;
+    uint64_t watchdog_fires = 0;  // recoveries started
+    uint64_t recoveries = 0;      // recoveries completed
+    uint64_t replayed_endpoints = 0;
+    uint64_t replayed_kernel_channels = 0;
+    uint64_t replayed_continuations = 0;
+    uint64_t replayed_dedup_completed = 0;
+    uint64_t replayed_dedup_in_flight = 0;
+    uint64_t dropped_undelivered = 0;
+    Duration last_blackout = 0;   // crash detection -> replay done
+    Duration total_blackout = 0;
+  };
+
+  NicRecoveryManager(Simulator& sim, LauberhornNic& nic, NicShadow& shadow,
+                     FaultInjector* faults, Config config);
+  NicRecoveryManager(const NicRecoveryManager&) = delete;
+  NicRecoveryManager& operator=(const NicRecoveryManager&) = delete;
+
+  // Published during recovery so a cluster directory can mark this machine
+  // kDegraded (divert new work) instead of kDown (churn the hash ring).
+  Callback on_recovery_begin;
+  Callback on_recovery_end;
+
+  const Stats& stats() const { return stats_; }
+  bool recovering() const { return recovering_; }
+
+ private:
+  void Tick();
+  void BeginRecovery();
+  void FinishRecovery();
+
+  Simulator& sim_;
+  LauberhornNic& nic_;
+  NicShadow& shadow_;
+  FaultInjector* faults_;
+  Config config_;
+  Stats stats_;
+  int misses_ = 0;
+  uint64_t crashed_polls_at_last_beat_ = 0;
+  bool recovering_ = false;
+  SimTime detected_at_ = 0;
+};
+
+}  // namespace lauberhorn
+
+#endif  // SRC_NIC_SHADOW_H_

@@ -28,6 +28,10 @@ std::string ToString(TraceEvent event) {
       return "drop";
     case TraceEvent::kDegrade:
       return "degrade";
+    case TraceEvent::kNicCrash:
+      return "nic-crash";
+    case TraceEvent::kNicReset:
+      return "nic-reset";
   }
   return "?";
 }

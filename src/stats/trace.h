@@ -28,6 +28,8 @@ enum class TraceEvent : uint16_t {
   kLoopExit,        // a=endpoint, b=core
   kDrop,            // a=endpoint, b=reason (ShedReason in src/overload)
   kDegrade,         // a=endpoint, b=tryagain streak at demotion
+  kNicCrash,        // whole-NIC firmware crash: volatile state wiped (§16)
+  kNicReset,        // host-driven reset completed; shadow replay follows
 };
 
 std::string ToString(TraceEvent event);

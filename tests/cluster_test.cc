@@ -81,7 +81,63 @@ TEST(DirectoryTest, MarkUpResetsTimeoutStreak) {
   directory.MarkDown(1, 0, Microseconds(10));
   directory.MarkUp(1, 0);
   EXPECT_EQ(directory.replica(1, 0).timeout_streak, 0u);
-  EXPECT_TRUE(directory.replica(1, 0).up);
+  EXPECT_EQ(directory.replica(1, 0).health, ReplicaHealth::kUp);
+}
+
+TEST(DirectoryTest, DegradedStaysEligibleAndNeverUpgradesDown) {
+  ServiceDirectory directory;
+  directory.AddReplica(1, StubReplica(0));
+  directory.AddReplica(1, StubReplica(1));
+
+  // kDegraded keeps the replica resolvable.
+  directory.MarkDegraded(1, 0);
+  EXPECT_EQ(directory.replica(1, 0).health, ReplicaHealth::kDegraded);
+  EXPECT_EQ(directory.Resolve(1, 0).size(), 2u);
+  EXPECT_EQ(directory.stats().marked_degraded, 1u);
+
+  // Degrading a down replica does not resurrect it.
+  directory.MarkDown(1, 1, Microseconds(100));
+  directory.MarkDegraded(1, 1);
+  EXPECT_EQ(directory.replica(1, 1).health, ReplicaHealth::kDown);
+  EXPECT_EQ(directory.stats().marked_degraded, 1u);
+
+  // Only MarkUp clears degradation.
+  directory.MarkUp(1, 0);
+  EXPECT_EQ(directory.replica(1, 0).health, ReplicaHealth::kUp);
+}
+
+TEST(LbPolicyTest, LeastLoadedPenalizesDegradedReplica) {
+  ServiceDirectory directory;
+  directory.AddReplica(1, StubReplica(0));
+  directory.AddReplica(1, StubReplica(1));
+  // Replica 0 is busier but up; replica 1 idle but degraded. The degraded
+  // penalty must dominate a realistic load spread.
+  directory.replica(1, 0).outstanding = 20;
+  directory.MarkDegraded(1, 1);
+  LeastLoadedPolicy policy;
+  std::vector<size_t> candidates = {0, 1};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(policy.Pick(directory, 1, candidates, 0, 0), 0u);
+  }
+  EXPECT_LT(policy.Score(directory.replica(1, 0)),
+            policy.Score(directory.replica(1, 1)));
+}
+
+TEST(LbPolicyTest, ConsistentHashRingUnchangedByDegrade) {
+  ServiceDirectory directory;
+  for (uint32_t m = 0; m < 4; ++m) directory.AddReplica(1, StubReplica(m));
+  ConsistentHashPolicy policy;
+  std::vector<size_t> candidates = {0, 1, 2, 3};
+  std::vector<size_t> before;
+  for (uint64_t key = 0; key < 200; ++key) {
+    before.push_back(policy.Pick(directory, 1, candidates, key, 0));
+  }
+  // Degraded replicas stay in the candidate set and keep their keys: zero
+  // ring churn, unlike a MarkDown (which sheds the downed replica's keys).
+  directory.MarkDegraded(1, 2);
+  for (uint64_t key = 0; key < 200; ++key) {
+    EXPECT_EQ(policy.Pick(directory, 1, candidates, key, 0), before[key]);
+  }
 }
 
 TEST(LbPolicyTest, RoundRobinCycles) {
@@ -249,7 +305,7 @@ TEST(ClusterTest, FailoverPreservesAtMostOnceUnderCrashWindow) {
   EXPECT_GE(directory.stats().marked_down, 1u);
   // The replica recovered: a probe after the outage marked it up again.
   EXPECT_GE(directory.stats().marked_up, 1u);
-  EXPECT_TRUE(directory.replica(1, 1).up);
+  EXPECT_EQ(directory.replica(1, 1).health, ReplicaHealth::kUp);
   // At-most-once cluster-wide: no sequence number executed twice, anywhere.
   for (const auto& [seq, count] : executions) {
     EXPECT_EQ(count, 1u) << "seq " << seq << " executed " << count << " times";
