@@ -45,7 +45,7 @@ void ClusterClient::Attempt(CallCtx* ctx) {
     // user code.
     std::lock_guard<std::mutex> lock(directory_.mu());
     std::vector<size_t> candidates =
-        directory_.Resolve(ctx->service_id, sim_.Now());
+        directory_.Resolve(ctx->service_id, sim_.Now(), config_.tenant);
     // Prefer replicas this call has not touched yet; once every replica has
     // been tried, allow re-tries (a fresh request id, still at-most-once).
     std::vector<size_t> untried;

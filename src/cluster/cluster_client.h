@@ -44,6 +44,9 @@ class ClusterClient {
     bool divert_on_overload = true;
     // Half-life of the per-replica kOverloaded score LeastLoaded reads.
     Duration overload_decay = Microseconds(200);
+    // Tenant this edge belongs to: resolution only sees replicas owned by
+    // this tenant (plus kAnyTenant replicas). Default: no scoping.
+    uint32_t tenant = kAnyTenant;
   };
 
   struct Stats {

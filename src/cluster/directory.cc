@@ -71,6 +71,11 @@ ServiceDirectory::Replica& ServiceDirectory::replica(uint32_t service_id,
 
 std::vector<size_t> ServiceDirectory::Resolve(uint32_t service_id,
                                               SimTime now) {
+  return Resolve(service_id, now, kAnyTenant);
+}
+
+std::vector<size_t> ServiceDirectory::Resolve(uint32_t service_id, SimTime now,
+                                              uint32_t tenant) {
   ++stats_.resolutions;
   std::vector<size_t> eligible;
   auto it = services_.find(service_id);
@@ -80,7 +85,11 @@ std::vector<size_t> ServiceDirectory::Resolve(uint32_t service_id,
   eligible.reserve(it->second.size());
   for (size_t i = 0; i < it->second.size(); ++i) {
     const Replica& r = it->second[i];
-    if (r.health != ReplicaHealth::kDown || now >= r.down_until) {
+    const bool tenant_ok = tenant == kAnyTenant ||
+                           r.info.tenant == kAnyTenant ||
+                           r.info.tenant == tenant;
+    if (tenant_ok &&
+        (r.health != ReplicaHealth::kDown || now >= r.down_until)) {
       eligible.push_back(i);
     }
   }

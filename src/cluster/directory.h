@@ -51,11 +51,19 @@ enum class ReplicaHealth {
 
 std::string ToString(ReplicaHealth health);
 
+// Tenant wildcard: a replica tagged kAnyTenant serves every tenant, and a
+// client resolving as kAnyTenant sees every replica (the pre-multi-tenant
+// behavior). Matches the NIC's VF model: a tenant's replica set is the
+// service endpoints allocated on that tenant's VF.
+inline constexpr uint32_t kAnyTenant = 0xffffffffu;
+
 // Static identity + placement of one replica of a service.
 struct ReplicaInfo {
   uint32_t machine = 0;  // testbed machine index
   uint32_t ip = 0;       // server L3 address the replica answers on
   uint16_t udp_port = 0;
+  // Tenant that owns this replica (the VF id on a Lauberhorn machine).
+  uint32_t tenant = kAnyTenant;
   StackKind stack = StackKind::kLauberhorn;
   PlacementKind placement = PlacementKind::kHotUserPoll;
   // NIC-side load signal: instantaneous admission-queue depth for this
@@ -149,6 +157,11 @@ class ServiceDirectory {
   // Indices of replicas eligible for placement at `now`: up, or down but
   // past down_until (probe-eligible). Counted as one resolution.
   std::vector<size_t> Resolve(uint32_t service_id, SimTime now);
+  // Tenant-scoped resolution: additionally requires the replica to belong to
+  // `tenant` (kAnyTenant replicas match every tenant, and resolving as
+  // kAnyTenant sees every replica).
+  std::vector<size_t> Resolve(uint32_t service_id, SimTime now,
+                              uint32_t tenant);
 
   void MarkDown(uint32_t service_id, size_t index, SimTime until);
   // Publishes NIC-recovery-in-progress: kUp -> kDegraded. A down replica

@@ -24,18 +24,47 @@ size_t RoundRobinPolicy::Pick(const ServiceDirectory& directory,
   return candidates[cursor % candidates.size()];
 }
 
+bool VnodeCollisionWins(size_t r_new, int v_new, size_t r_old, int v_old) {
+  if (r_new != r_old) return r_new < r_old;
+  return v_new < v_old;
+}
+
 ConsistentHashPolicy::Ring& ConsistentHashPolicy::RingFor(
     uint32_t service_id, size_t num_replicas) {
   Ring& ring = rings_[service_id];
   if (ring.built_for != num_replicas) {
     ring.points.clear();
+    // Point collisions must resolve to a deterministic owner, not whichever
+    // vnode the build loop visited last/first. Two layers:
+    //
+    //  1. The old single-mix packing (service<<32) ^ (r<<8) ^ v aliased
+    //     structurally — (r, v) and (r+1, v-256) fed MixHash64 the same
+    //     input whenever vnodes > 256, so whole vnodes silently vanished
+    //     from the ring. Chaining two mixes keys the first stage uniquely
+    //     per (service, replica) so the vnode index can no longer carry
+    //     into the replica bits.
+    //  2. Any residual 64-bit hash collision is broken explicitly by the
+    //     smallest (replica id, vnode index) pair.
+    struct Owner {
+      size_t r;
+      int v;
+    };
+    std::map<uint64_t, Owner> owners;
     for (size_t r = 0; r < num_replicas; ++r) {
+      const uint64_t replica_seed =
+          MixHash64((static_cast<uint64_t>(service_id) << 32) |
+                    static_cast<uint64_t>(r));
       for (int v = 0; v < vnodes_; ++v) {
-        uint64_t point = MixHash64((static_cast<uint64_t>(service_id) << 32) ^
-                                   (static_cast<uint64_t>(r) << 8) ^
-                                   static_cast<uint64_t>(v));
-        ring.points.emplace(point, r);
+        const uint64_t point =
+            MixHash64(replica_seed ^ static_cast<uint64_t>(v));
+        auto [it, inserted] = owners.emplace(point, Owner{r, v});
+        if (!inserted && VnodeCollisionWins(r, v, it->second.r, it->second.v)) {
+          it->second = Owner{r, v};
+        }
       }
+    }
+    for (const auto& [point, owner] : owners) {
+      ring.points.emplace(point, owner.r);
     }
     ring.built_for = num_replicas;
   }

@@ -62,6 +62,13 @@ class ConsistentHashPolicy : public LbPolicy {
               const std::vector<size_t>& candidates, uint64_t shard_key,
               SimTime now) override;
 
+  // Number of distinct hash points in the service's ring (exposed for the
+  // collision regression test: must equal num_replicas * vnodes when no two
+  // vnodes collide).
+  size_t RingPointCount(uint32_t service_id, size_t num_replicas) {
+    return RingFor(service_id, num_replicas).points.size();
+  }
+
  private:
   // Ring over ALL replicas of the service (built once per set size); a
   // candidate filter is applied at lookup so downed replicas shed only
@@ -111,6 +118,12 @@ class LeastLoadedPolicy : public LbPolicy {
 
 // Stateless 64-bit mix used by the hash ring (splitmix64 finalizer).
 uint64_t MixHash64(uint64_t x);
+
+// Resolves a contested hash point between two vnodes deterministically:
+// returns true when (r_new, v_new) should own the point currently held by
+// (r_old, v_old). The winner is the smallest (replica id, vnode index) pair,
+// independent of ring build order. Exposed for tests.
+bool VnodeCollisionWins(size_t r_new, int v_new, size_t r_old, int v_old);
 
 }  // namespace lauberhorn
 

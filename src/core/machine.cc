@@ -270,7 +270,8 @@ void Machine::HookLatencyTracking() {
   }
 }
 
-const ServiceDef& Machine::AddService(ServiceDef def, int max_cores) {
+const ServiceDef& Machine::AddService(ServiceDef def, int max_cores,
+                                      uint32_t vf) {
   assert(!started_ && "AddService must precede Start");
   ServiceDef* stored = services_.Add(std::move(def));
   switch (config_.stack) {
@@ -281,7 +282,7 @@ const ServiceDef& Machine::AddService(ServiceDef def, int max_cores) {
       break;  // registry-driven, nothing to do
     case StackKind::kLauberhorn: {
       const uint32_t first =
-          lauberhorn_runtime_->RegisterService(*stored, max_cores);
+          lauberhorn_runtime_->RegisterService(*stored, max_cores, vf);
       auto& list = service_endpoints_[stored->service_id];
       for (int i = 0; i < max_cores; ++i) {
         list.push_back(first + static_cast<uint32_t>(i));
@@ -290,6 +291,12 @@ const ServiceDef& Machine::AddService(ServiceDef def, int max_cores) {
     }
   }
   return *stored;
+}
+
+uint32_t Machine::CreateVf(LauberhornNic::VfConfig config) {
+  assert(config_.stack == StackKind::kLauberhorn &&
+         "VFs are a Lauberhorn NIC feature");
+  return lauberhorn_nic_->CreateVf(std::move(config));
 }
 
 void Machine::Start() {
@@ -302,9 +309,17 @@ void Machine::Start() {
       break;
     case StackKind::kBypass:
       // Static assignment (§2): while every app can own dedicated queues,
-      // flows RSS freely; once apps outnumber queues, each app is bound to
-      // one queue — the rigidity the paper criticizes.
-      dma_nic_->set_steer_by_dst_port(services_.size() > config_.nic_queues);
+      // flows spread by Toeplitz RSS; once apps outnumber queues, each app
+      // is pinned to one queue — still the rigidity the paper criticizes,
+      // but now an explicit flow-director table (round-robin over queues)
+      // instead of a hash artifact, so retiring an app frees its entry and
+      // reusing the queue is a counted rebind rather than a stale binding.
+      if (services_.size() > config_.nic_queues) {
+        uint32_t next_queue = 0;
+        for (const ServiceDef* def : services_.All()) {
+          dma_nic_->BindPort(def->udp_port, next_queue++ % config_.nic_queues);
+        }
+      }
       dma_driver_->Setup();
       bypass_->Start();
       break;
@@ -419,6 +434,25 @@ void Machine::ExportMetrics(MetricsRegistry& metrics,
     C("overload/sheds_queue", s.requests_shed_queue);
     C("overload/sheds_quota", s.requests_shed_quota);
     C("overload/sheds_sojourn", s.requests_shed_sojourn);
+    C("overload/sheds_vf_quota", s.requests_shed_vf_quota);
+    // Per-tenant (VF) slices; VF 0 is the PF and carries no tenant quota.
+    for (uint32_t vf = 1; vf < lauberhorn_nic_->NumVfs(); ++vf) {
+      const LauberhornNic::VfStats& v = lauberhorn_nic_->vf_stats(vf);
+      const std::string base = "nic/vf" + std::to_string(vf) + "/";
+      metrics.SetCounter(prefix + base + "rx_requests", v.rx_requests);
+      metrics.SetCounter(prefix + base + "responses", v.responses);
+      metrics.SetCounter(prefix + base + "sheds_queue", v.sheds_queue);
+      metrics.SetCounter(prefix + base + "sheds_quota", v.sheds_quota);
+      metrics.SetCounter(prefix + base + "sheds_sojourn", v.sheds_sojourn);
+      metrics.SetCounter(prefix + base + "sheds_vf_quota", v.sheds_vf_quota);
+      metrics.SetCounter(prefix + base + "rss_steered", v.rss_steered);
+      metrics.SetCounter(prefix + base + "rss_fallbacks", v.rss_fallbacks);
+      metrics.SetCounter(prefix + base + "endpoints", v.endpoints);
+    }
+  }
+  if (dma_nic_ != nullptr) {
+    C("dmanic/rx_rebinds", dma_nic_->rx_rebinds());
+    G("dmanic/bound_ports", static_cast<double>(dma_nic_->BoundPorts()));
   }
   if (lauberhorn_runtime_ != nullptr) {
     C("runtime/rpcs_hot", lauberhorn_runtime_->rpcs_hot());
@@ -469,6 +503,7 @@ void Machine::ExportMetrics(MetricsRegistry& metrics,
   }
   if (nic_shadow_ != nullptr) {
     C("recovery/shadow_writes", nic_shadow_->writes());
+    G("recovery/shadow_vfs", static_cast<double>(nic_shadow_->vf_count()));
     G("recovery/shadow_endpoints", static_cast<double>(nic_shadow_->endpoint_count()));
     G("recovery/shadow_dedup_entries", static_cast<double>(nic_shadow_->dedup_count()));
   }
@@ -477,6 +512,7 @@ void Machine::ExportMetrics(MetricsRegistry& metrics,
     C("recovery/heartbeats", r.heartbeats);
     C("recovery/watchdog_fires", r.watchdog_fires);
     C("recovery/recoveries", r.recoveries);
+    C("recovery/replayed_vfs", r.replayed_vfs);
     C("recovery/replayed_endpoints", r.replayed_endpoints);
     C("recovery/replayed_kernel_channels", r.replayed_kernel_channels);
     C("recovery/replayed_continuations", r.replayed_continuations);

@@ -154,8 +154,14 @@ class Machine {
   const MachineConfig& config() const { return config_; }
 
   // Registers a service with the active stack. For Lauberhorn, `max_cores`
-  // endpoints are allocated. Returns the stored definition.
-  const ServiceDef& AddService(ServiceDef def, int max_cores = 1);
+  // endpoints are allocated on virtual function `vf` (0 = the physical
+  // function; other stacks ignore it). Returns the stored definition.
+  const ServiceDef& AddService(ServiceDef def, int max_cores = 1,
+                               uint32_t vf = 0);
+
+  // Lauberhorn only: carves a virtual function (tenant slice) out of the
+  // NIC before services are added onto it. Returns the VF id (>= 1).
+  uint32_t CreateVf(LauberhornNic::VfConfig config);
 
   // Finalizes setup (installs IRQ handlers / starts runtimes). Call after
   // every AddService and before traffic.

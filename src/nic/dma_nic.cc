@@ -17,21 +17,34 @@ DmaNic::DmaNic(Simulator& sim, Config config, PcieLink& pcie, Msix& msix)
   pcie_.set_device(this);
 }
 
+void DmaNic::BindPort(uint16_t dst_port, uint32_t queue) {
+  auto [it, inserted] = port_bindings_.emplace(dst_port, queue);
+  if (!inserted && it->second != queue) {
+    it->second = queue;
+    ++rx_rebinds_;
+  }
+}
+
+void DmaNic::UnbindPort(uint16_t dst_port) { port_bindings_.erase(dst_port); }
+
 uint32_t DmaNic::RssQueue(const Packet& packet) const {
-  // FNV-1a over the 5-tuple region of the headers (src/dst IP + ports), the
-  // same bytes a Toeplitz RSS hash covers.
   const auto& b = packet.bytes;
   if (b.size() < kAllHeadersSize) {
     return 0;
   }
-  uint32_t h = 2166136261u;
-  const size_t begin = config_.steer_by_dst_port ? kEthernetHeaderSize + 20 + 2
-                                                 : kEthernetHeaderSize + 12;
-  const size_t end = kEthernetHeaderSize + 20 + 4;
-  for (size_t i = begin; i < end; ++i) {
-    h = (h ^ b[i]) * 16777619u;
+  // The IPv4 4-tuple sits contiguously in wire (big-endian) order: src/dst
+  // address at IP offsets 12/16, then the UDP ports — exactly the NDIS RSS
+  // input layout.
+  const uint8_t* tuple = b.data() + kEthernetHeaderSize + 12;
+  // Explicit app->queue bindings override the hash (flow-director entry).
+  const uint16_t dst_port =
+      static_cast<uint16_t>((tuple[10] << 8) | tuple[11]);
+  if (auto it = port_bindings_.find(dst_port); it != port_bindings_.end()) {
+    return it->second % config_.num_queues;
   }
-  return h % config_.num_queues;
+  const uint8_t* begin = config_.steer_by_dst_port ? tuple + 10 : tuple;
+  const size_t len = config_.steer_by_dst_port ? 2 : 12;
+  return ToeplitzHash(config_.rss_key, begin, len) % config_.num_queues;
 }
 
 void DmaNic::ReceivePacket(Packet packet) {

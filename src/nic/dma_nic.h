@@ -7,11 +7,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "src/net/headers.h"
 #include "src/net/link.h"
 #include "src/nic/cost_model.h"
+#include "src/nic/toeplitz.h"
 #include "src/pcie/pcie_link.h"
 #include "src/pcie/ring.h"
 #include "src/sim/simulator.h"
@@ -39,6 +41,9 @@ class DmaNic : public PacketSink, public MmioDevice {
     // kernel-bypass runtimes configure) instead of 5-tuple RSS. This is the
     // static assignment whose rigidity §2 criticizes.
     bool steer_by_dst_port = false;
+    // Secret key for the Toeplitz RSS hash (default = the NDIS verification
+    // key so placement is reproducible).
+    ToeplitzKey rss_key = kDefaultToeplitzKey;
     NicPipelineCosts pipeline;
     // Device-side RX FIFO (packets buffered ahead of descriptor DMA). Past
     // this the device tail-drops silently — the commodity NIC's only way to
@@ -54,6 +59,20 @@ class DmaNic : public PacketSink, public MmioDevice {
   // Optional fault injection (src/fault): OS crash windows blackhole RX —
   // nothing above the device consumes descriptors while the stack restarts.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  // Explicit application->queue binding (flow director style): bypass
+  // runtimes program one entry per app port. Bindings take precedence over
+  // the RSS hash, so retiring an app and reusing its queue is an explicit
+  // table update instead of a stale hash artifact. Re-pointing a bound port
+  // at a different queue counts as a rebind.
+  void BindPort(uint16_t dst_port, uint32_t queue);
+  void UnbindPort(uint16_t dst_port);
+  size_t BoundPorts() const { return port_bindings_.size(); }
+
+  // Queue selection for an arriving frame: explicit binding, else Toeplitz
+  // RSS over the IPv4 4-tuple (or the dst port alone under
+  // steer_by_dst_port). Exposed for tests.
+  uint32_t RssQueue(const Packet& packet) const;
 
   // PacketSink: a frame arrived from the wire.
   void ReceivePacket(Packet packet) override;
@@ -76,6 +95,7 @@ class DmaNic : public PacketSink, public MmioDevice {
   uint64_t rx_drops_bad_frame() const { return rx_drops_bad_frame_; }
   uint64_t rx_drops_service_down() const { return rx_drops_service_down_; }
   uint64_t tx_packets() const { return tx_packets_; }
+  uint64_t rx_rebinds() const { return rx_rebinds_; }
 
  private:
   struct Queue {
@@ -94,7 +114,6 @@ class DmaNic : public PacketSink, public MmioDevice {
     bool tx_busy = false;
   };
 
-  uint32_t RssQueue(const Packet& packet) const;
   void StartRxDelivery(uint32_t q);
   void DeliverOne(uint32_t q, Packet packet);
   void MaybeInterrupt(uint32_t q);
@@ -107,12 +126,14 @@ class DmaNic : public PacketSink, public MmioDevice {
   LinkDirection* tx_wire_ = nullptr;
   FaultInjector* faults_ = nullptr;
   std::vector<Queue> queues_;
+  std::unordered_map<uint16_t, uint32_t> port_bindings_;
   bool interrupts_enabled_;
   uint64_t rx_packets_ = 0;
   uint64_t rx_drops_no_desc_ = 0;
   uint64_t rx_drops_bad_frame_ = 0;
   uint64_t rx_drops_service_down_ = 0;
   uint64_t tx_packets_ = 0;
+  uint64_t rx_rebinds_ = 0;
 };
 
 // Host-side driver: owns rings and buffers in host memory, posts RX

@@ -37,6 +37,24 @@ LauberhornNic::LauberhornNic(Simulator& sim, CoherentInterconnect& interconnect,
   const uint64_t homed_bytes = total * EndpointStrideLines() * line_size();
   home_id_ = interconnect_.RegisterHomeAgent(this, config_.base, homed_bytes,
                                              /*is_device=*/true);
+  vfs_.resize(1);  // slot 0: the physical function
+}
+
+uint32_t LauberhornNic::CreateVf(VfConfig config) {
+  const auto vf = static_cast<uint32_t>(vfs_.size());
+  vfs_.push_back(VfState{std::move(config), std::nullopt, VfStats{}});
+  if (shadow_ != nullptr) {
+    shadow_->RecordVf(vf, vfs_.back().config);
+  }
+  return vf;
+}
+
+void LauberhornNic::RestoreVf(uint32_t vf, const VfConfig& config) {
+  if (vfs_.size() <= vf) {
+    vfs_.resize(vf + 1);
+  }
+  vfs_[vf].config = config;
+  vfs_[vf].quota.reset();  // volatile: a reborn device starts a full bucket
 }
 
 std::optional<uint32_t> LauberhornNic::AllocateContinuation() {
@@ -163,22 +181,41 @@ LauberhornNic::LineRole LauberhornNic::Decode(LineAddr addr) {
 
 uint32_t LauberhornNic::AllocateEndpoint(uint32_t service_id, Pid pid, uint64_t code_ptr,
                                          uint64_t data_ptr, uint64_t dma_buffer_iova) {
-  assert(next_service_endpoint_ < config_.num_endpoints && "out of endpoints");
+  const auto id = AllocateEndpointOnVf(0, service_id, pid, code_ptr, data_ptr,
+                                       dma_buffer_iova);
+  assert(id.has_value() && "out of endpoints");
+  return *id;
+}
+
+std::optional<uint32_t> LauberhornNic::AllocateEndpointOnVf(
+    uint32_t vf, uint32_t service_id, Pid pid, uint64_t code_ptr,
+    uint64_t data_ptr, uint64_t dma_buffer_iova) {
+  assert(vf < vfs_.size() && "endpoint on unknown VF");
+  if (next_service_endpoint_ >= config_.num_endpoints) {
+    return std::nullopt;  // global endpoint table exhausted
+  }
+  VfState& owner = vfs_[vf];
+  if (owner.config.endpoint_limit > 0 &&
+      owner.stats.endpoints >= owner.config.endpoint_limit) {
+    return std::nullopt;  // the tenant's slice is full; it cannot spill over
+  }
   const uint32_t id =
       static_cast<uint32_t>(config_.num_kernel_channels) + next_service_endpoint_++;
   Endpoint& ep = endpoints_[id];
   ep.in_use = true;
   ep.service_id = service_id;
+  ep.vf = vf;
   ep.pid = pid;
   ep.code_ptr = code_ptr;
   ep.data_ptr = data_ptr;
   ep.dma_buffer_iova = dma_buffer_iova;
+  ++owner.stats.endpoints;
   const ServiceDef* service = services_.Find(service_id);
   assert(service != nullptr && "endpoint for unknown service");
   port_to_endpoints_[service->udp_port].push_back(id);
   if (shadow_ != nullptr) {
     shadow_->RecordEndpoint({id, service_id, pid, code_ptr, data_ptr,
-                             dma_buffer_iova});
+                             dma_buffer_iova, vf});
   }
   return id;
 }
@@ -244,6 +281,11 @@ void LauberhornNic::CrashNow() {
   cc_senders_.clear();
   dedup_ = RpcDedupCache(config_.dedup_window);
   grant_ramp_until_ = 0;
+  // VF partitions are device state too: the firmware that knew them is gone.
+  // The shadow replays RestoreVf before any endpoint, so tenants come back
+  // with their slice caps and quotas (buckets restart full).
+  vfs_.clear();
+  vfs_.resize(1);
 }
 
 void LauberhornNic::CompleteReset() {
@@ -255,10 +297,13 @@ void LauberhornNic::CompleteReset() {
 
 void LauberhornNic::RestoreEndpoint(uint32_t id, uint32_t service_id, Pid pid,
                                     uint64_t code_ptr, uint64_t data_ptr,
-                                    uint64_t dma_buffer_iova) {
+                                    uint64_t dma_buffer_iova, uint32_t vf) {
   Endpoint& ep = endpoints_[id];
   ep.in_use = true;
   ep.service_id = service_id;
+  assert(vf < vfs_.size() && "endpoint replayed before its VF");
+  ep.vf = vf;
+  ++vfs_[vf].stats.endpoints;
   ep.pid = pid;
   ep.code_ptr = code_ptr;
   ep.data_ptr = data_ptr;
@@ -395,7 +440,7 @@ void LauberhornNic::ReceivePacket(Packet packet) {
       ++stats_.drops_no_endpoint;
       return;
     }
-    const uint32_t ep_id = PickEndpoint(it->second);
+    const uint32_t ep_id = PickEndpoint(it->second, frame->ip, frame->udp);
     Endpoint& ep = endpoints_[ep_id];
     trace_.Emit(sim_.Now(), TraceEvent::kWireRx, ep_id, 0);
     const auto request = DecodeRpcMessage(frame->payload);
@@ -440,6 +485,7 @@ void LauberhornNic::ReceivePacket(Packet packet) {
       ++stats_.drops_bad_frame;
       return;
     }
+    ++vfs_[ep.vf].stats.rx_requests;
     const ServiceDef* service = services_.Find(ep.service_id);
     const MethodDef* method =
         service != nullptr ? service->FindMethod(request->method_id) : nullptr;
@@ -472,7 +518,7 @@ void LauberhornNic::ReceivePacket(Packet packet) {
     // request (an entry only becomes in-flight once the request is certain
     // to reach a handler or an explicit overload response).
     if (config_.dedup) {
-      const uint64_t flow = DedupFlowKey(frame->ip.src, frame->udp.src_port);
+      const uint64_t flow = VfFlowKey(ep_id, frame->ip.src, frame->udp.src_port);
       switch (dedup_.Admit(flow, request->request_id)) {
         case RpcDedupCache::Verdict::kNew:
           if (shadow_ != nullptr) {
@@ -546,11 +592,44 @@ void LauberhornNic::ReceivePacket(Packet packet) {
   });
 }
 
-uint32_t LauberhornNic::PickEndpoint(const std::vector<uint32_t>& candidates) const {
-  // Prefer a stalled core (zero-latency dispatch), then the active endpoint
-  // with the shortest NIC-side queue. If even that queue is deep, spill to an
-  // inactive endpoint — the cold path recruits another core (§5.2's dynamic
-  // scaling, driven by the NIC's own load statistics).
+uint64_t LauberhornNic::VfFlowKey(uint32_t endpoint, uint32_t src_ip,
+                                  uint16_t src_port) const {
+  // DedupFlowKey occupies 48 bits; the owning VF id lands in the top 16, so
+  // identical (src ip, src port, request id) tuples aimed at two tenants
+  // live in disjoint dedup namespaces by construction.
+  return (static_cast<uint64_t>(endpoints_[endpoint].vf) << 48) ^
+         DedupFlowKey(src_ip, src_port);
+}
+
+uint32_t LauberhornNic::PickEndpoint(const std::vector<uint32_t>& candidates,
+                                     const Ipv4Header& ip, const UdpHeader& udp) {
+  if (candidates.size() == 1) {
+    return candidates[0];
+  }
+  // Tenant slice (§17): Toeplitz RSS over the flow's 4-tuple picks the
+  // polling core — one flow keeps cache/core affinity while the tenant's
+  // flows spread across its slice. Fall back to the legacy picker when the
+  // hashed endpoint cannot absorb the request (degraded, or queue already at
+  // the spillover threshold): isolation must not cost availability inside
+  // the slice.
+  const uint32_t vf = endpoints_[candidates[0]].vf;
+  if (vf != 0) {
+    const uint32_t hash = ToeplitzHash4Tuple(config_.rss_key, ip.src, ip.dst,
+                                             udp.src_port, udp.dst_port);
+    const uint32_t chosen = candidates[hash % candidates.size()];
+    const Endpoint& ep = endpoints_[chosen];
+    const bool saturated = ep.degraded_until > sim_.Now() ||
+                           ep.pending.size() >= config_.params.spillover_queue_depth;
+    if (!saturated) {
+      ++vfs_[vf].stats.rss_steered;
+      return chosen;
+    }
+    ++vfs_[vf].stats.rss_fallbacks;
+  }
+  // PF / fallback: prefer a stalled core (zero-latency dispatch), then the
+  // active endpoint with the shortest NIC-side queue. If even that queue is
+  // deep, spill to an inactive endpoint — the cold path recruits another
+  // core (§5.2's dynamic scaling, driven by the NIC's own load statistics).
   for (uint32_t id : candidates) {
     if (endpoints_[id].waiting.has_value()) {
       return id;
@@ -616,7 +695,7 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
     // Demoted: the hot path was not making progress, so bypass it entirely
     // and let the kernel channels carry this request.
     ++stats_.degraded_dispatches;
-    if (config_.admission.enabled) {
+    if (AdmissionActive(ep)) {
       const ShedReason reason = AdmissionCheck(ep, /*cold=*/true);
       if (reason != ShedReason::kNone) {
         Shed(ep, request, reason);
@@ -628,11 +707,18 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
   }
   const bool wedged = faults_ != nullptr && faults_->NicEndpointWedgedNow(ep.id);
   if (ep.waiting.has_value() && !wedged) {
+    // The overload gates never fire here — a parked core means the system
+    // has headroom — but the tenant's rate contract still binds: a VF whose
+    // cores happen to be idle must not dispatch above its quota.
+    const ShedReason vf_reason = VfQuotaCheck(ep);
+    if (vf_reason != ShedReason::kNone) {
+      Shed(ep, request, vf_reason);
+      return;
+    }
     ++stats_.hot_dispatches;
     trace_.Emit(sim_.Now(), TraceEvent::kDispatchHot, ep.id,
                 static_cast<uint32_t>(request.request_id));
     if (spans_ != nullptr) {
-      // The hot path has no admission gate to fail: dispatch implies admit.
       spans_->Record(request.request_id, SpanStage::kAdmitted, sim_.Now());
       spans_->Record(request.request_id, SpanStage::kDispatched, sim_.Now());
       spans_->Annotate(request.request_id, SpanDispatch::kHot, ep.id);
@@ -642,15 +728,13 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
   }
   if (ep.active || ep.outstanding.has_value() || !ep.pending.empty() ||
       ep.cold_dispatch_inflight || ep.waiting.has_value()) {
-    size_t depth_limit = config_.params.endpoint_queue_depth;
-    if (config_.admission.enabled && config_.admission.queue_depth_limit > 0) {
-      depth_limit = std::min(depth_limit, config_.admission.queue_depth_limit);
-    }
+    const size_t depth_limit =
+        EffectiveDepthLimit(ep, config_.params.endpoint_queue_depth);
     if (ep.pending.size() >= depth_limit) {
       Shed(ep, request, ShedReason::kQueueFull);
       return;
     }
-    if (config_.admission.enabled) {
+    if (AdmissionActive(ep)) {
       const ShedReason reason = AdmissionCheck(ep, /*cold=*/false);
       if (reason != ShedReason::kNone) {
         Shed(ep, request, reason);
@@ -668,7 +752,7 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
     ep.pending.push_back(std::move(request));
     return;
   }
-  if (config_.admission.enabled) {
+  if (AdmissionActive(ep)) {
     const ShedReason reason = AdmissionCheck(ep, /*cold=*/true);
     if (reason != ShedReason::kNone) {
       Shed(ep, request, reason);
@@ -678,9 +762,52 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
   RouteCold(std::move(request));
 }
 
+bool LauberhornNic::AdmissionActive(const Endpoint& ep) const {
+  return config_.admission.enabled ||
+         (ep.vf != 0 && vfs_[ep.vf].config.admission.enabled);
+}
+
+size_t LauberhornNic::EffectiveDepthLimit(const Endpoint& ep,
+                                          size_t base) const {
+  size_t limit = base;
+  if (config_.admission.enabled && config_.admission.queue_depth_limit > 0) {
+    limit = std::min(limit, config_.admission.queue_depth_limit);
+  }
+  if (ep.vf != 0) {
+    const AdmissionConfig& adm = vfs_[ep.vf].config.admission;
+    if (adm.enabled && adm.queue_depth_limit > 0) {
+      limit = std::min(limit, adm.queue_depth_limit);
+    }
+  }
+  return limit;
+}
+
+ShedReason LauberhornNic::VfQuotaCheck(Endpoint& ep) {
+  // Tenant boundary: the VF's own bucket meters the aggregate rate of
+  // everything inside the slice, so one tenant's surge exhausts *its*
+  // tokens, never a neighbor's (or the device-wide pool's) budget.
+  if (ep.vf != 0) {
+    VfState& owner = vfs_[ep.vf];
+    const AdmissionConfig& adm = owner.config.admission;
+    if (adm.enabled && adm.quota_rps > 0) {
+      if (!owner.quota.has_value()) {
+        owner.quota.emplace(adm.quota_rps, adm.quota_burst);
+      }
+      if (!owner.quota->TryTake(sim_.Now())) {
+        return ShedReason::kVfQuota;
+      }
+    }
+  }
+  return ShedReason::kNone;
+}
+
 ShedReason LauberhornNic::AdmissionCheck(Endpoint& ep, bool cold) {
   const SimTime now = sim_.Now();
-  if (config_.admission.quota_rps > 0) {
+  const ShedReason vf_reason = VfQuotaCheck(ep);
+  if (vf_reason != ShedReason::kNone) {
+    return vf_reason;
+  }
+  if (config_.admission.enabled && config_.admission.quota_rps > 0) {
     TokenBucket& bucket =
         service_quota_
             .try_emplace(ep.service_id, config_.admission.quota_rps,
@@ -700,9 +827,15 @@ ShedReason LauberhornNic::AdmissionCheck(Endpoint& ep, bool cold) {
       return ShedReason::kSojourn;
     }
   } else {
+    // A VF endpoint's gate runs with the tenant's own sojourn targets; PF
+    // endpoints keep the device-wide config.
+    const AdmissionConfig& adm =
+        (ep.vf != 0 && vfs_[ep.vf].config.admission.enabled)
+            ? vfs_[ep.vf].config.admission
+            : config_.admission;
     const Duration oldest =
         ep.pending.empty() ? 0 : now - ep.pending.front().wire_arrival;
-    if (ep.sojourn_gate.ShouldShed(now, oldest, config_.admission.sojourn)) {
+    if (ep.sojourn_gate.ShouldShed(now, oldest, adm.sojourn)) {
       return ShedReason::kSojourn;
     }
   }
@@ -711,19 +844,28 @@ ShedReason LauberhornNic::AdmissionCheck(Endpoint& ep, bool cold) {
 
 void LauberhornNic::Shed(Endpoint& ep, const PreparedRequest& request,
                          ShedReason reason) {
+  VfStats& vf_stats = vfs_[ep.vf].stats;
   switch (reason) {
     case ShedReason::kQueueFull:
       ++stats_.requests_shed_queue;
       ++stats_.drops_queue_full;
       ++ep.shed_queue;
+      ++vf_stats.sheds_queue;
       break;
     case ShedReason::kQuota:
       ++stats_.requests_shed_quota;
       ++ep.shed_quota;
+      ++vf_stats.sheds_quota;
       break;
     case ShedReason::kSojourn:
       ++stats_.requests_shed_sojourn;
       ++ep.shed_sojourn;
+      ++vf_stats.sheds_sojourn;
+      break;
+    case ShedReason::kVfQuota:
+      ++stats_.requests_shed_vf_quota;
+      ++ep.shed_vf_quota;
+      ++vf_stats.sheds_vf_quota;
       break;
     case ShedReason::kNone:
       break;
@@ -755,10 +897,8 @@ uint16_t LauberhornNic::ComputeGrant(const Endpoint& ep) {
       ++it;
     }
   }
-  size_t limit = config_.params.endpoint_queue_depth;
-  if (config_.admission.enabled && config_.admission.queue_depth_limit > 0) {
-    limit = std::min(limit, config_.admission.queue_depth_limit);
-  }
+  const size_t limit =
+      EffectiveDepthLimit(ep, config_.params.endpoint_queue_depth);
   const size_t depth = ep.pending.size();
   const size_t headroom = depth >= limit ? 0 : limit - depth;
   size_t share = headroom / std::max<size_t>(1, active);
@@ -885,8 +1025,9 @@ void LauberhornNic::DeliverToWaiting(Endpoint& ep, PreparedRequest request) {
   if (shadow_ != nullptr && config_.dedup && !ep.is_continuation) {
     // The request is about to reach a handler: from here on a crash must
     // restore it as in-flight (executed-but-response-lost), never re-run it.
-    shadow_->DedupDelivered(DedupFlowKey(request.ip.src, request.udp.src_port),
-                            request.request_id);
+    shadow_->DedupDelivered(
+        VfFlowKey(request.endpoint, request.ip.src, request.udp.src_port),
+        request.request_id);
   }
   ep.tryagain_streak = 0;  // the hot path is making progress
   WaitingLoad waiting = std::move(*ep.waiting);
@@ -917,8 +1058,9 @@ void LauberhornNic::DeliverToKernelChannel(Endpoint& channel, PreparedRequest re
     spans_->Record(request.request_id, SpanStage::kDelivered, sim_.Now());
   }
   if (shadow_ != nullptr && config_.dedup) {
-    shadow_->DedupDelivered(DedupFlowKey(request.ip.src, request.udp.src_port),
-                            request.request_id);
+    shadow_->DedupDelivered(
+        VfFlowKey(request.endpoint, request.ip.src, request.udp.src_port),
+        request.request_id);
   }
   WaitingLoad waiting = std::move(*channel.waiting);
   channel.waiting.reset();
@@ -1178,9 +1320,13 @@ void LauberhornNic::TransmitResponse(const PreparedRequest& meta, RpcMessage res
     ++stats_.drops_nic_down;
     return;
   }
+  if (!endpoints_[meta.endpoint].is_continuation &&
+      response.kind == MessageKind::kResponse) {
+    ++vfs_[endpoints_[meta.endpoint].vf].stats.responses;
+  }
   if (config_.dedup && !endpoints_[meta.endpoint].is_continuation &&
       response.kind == MessageKind::kResponse) {
-    const uint64_t flow = DedupFlowKey(meta.ip.src, meta.udp.src_port);
+    const uint64_t flow = VfFlowKey(meta.endpoint, meta.ip.src, meta.udp.src_port);
     if (response.status == RpcStatus::kOverloaded) {
       // Shed, not executed: forget the entry so a retransmit runs fresh.
       dedup_.Abort(flow, response.request_id);
@@ -1294,7 +1440,8 @@ bool LauberhornNic::EndpointActive(uint32_t endpoint) const {
 
 LauberhornNic::EndpointSheds LauberhornNic::endpoint_sheds(uint32_t endpoint) const {
   const Endpoint& ep = endpoints_[endpoint];
-  return EndpointSheds{ep.shed_queue, ep.shed_quota, ep.shed_sojourn};
+  return EndpointSheds{ep.shed_queue, ep.shed_quota, ep.shed_sojourn,
+                       ep.shed_vf_quota};
 }
 
 std::string LauberhornNic::DebugReport() {
@@ -1327,11 +1474,26 @@ std::string LauberhornNic::DebugReport() {
                     stats_.drops_bad_args + stats_.drops_queue_full));
   out += line;
   std::snprintf(line, sizeof(line),
-                "  sheds: queue=%llu quota=%llu sojourn=%llu\n",
+                "  sheds: queue=%llu quota=%llu sojourn=%llu vf_quota=%llu\n",
                 static_cast<unsigned long long>(stats_.requests_shed_queue),
                 static_cast<unsigned long long>(stats_.requests_shed_quota),
-                static_cast<unsigned long long>(stats_.requests_shed_sojourn));
+                static_cast<unsigned long long>(stats_.requests_shed_sojourn),
+                static_cast<unsigned long long>(stats_.requests_shed_vf_quota));
   out += line;
+  for (size_t vf = 1; vf < vfs_.size(); ++vf) {
+    const VfState& state = vfs_[vf];
+    std::snprintf(line, sizeof(line),
+                  "  vf=%zu name=%s endpoints=%llu rx=%llu tx=%llu "
+                  "vf_quota_sheds=%llu rss=%llu/%llu\n",
+                  vf, state.config.name.c_str(),
+                  static_cast<unsigned long long>(state.stats.endpoints),
+                  static_cast<unsigned long long>(state.stats.rx_requests),
+                  static_cast<unsigned long long>(state.stats.responses),
+                  static_cast<unsigned long long>(state.stats.sheds_vf_quota),
+                  static_cast<unsigned long long>(state.stats.rss_steered),
+                  static_cast<unsigned long long>(state.stats.rss_fallbacks));
+    out += line;
+  }
   return out;
 }
 

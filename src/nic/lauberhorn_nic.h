@@ -27,6 +27,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "src/net/link.h"
 #include "src/nic/cost_model.h"
 #include "src/nic/dispatch_line.h"
+#include "src/nic/toeplitz.h"
 #include "src/os/kernel.h"
 #include "src/overload/overload.h"
 #include "src/pcie/pcie_link.h"
@@ -109,6 +111,35 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     // fresh ones cannot jointly over-admit into the reborn queues.
     uint16_t grant_reset_cap = 8;
     Duration grant_ramp_window = Microseconds(100);
+    // Secret key for the per-VF Toeplitz RSS demux (§17). Defaults to the
+    // NDIS verification key so flow placement is reproducible run to run.
+    ToeplitzKey rss_key = kDefaultToeplitzKey;
+  };
+
+  // -- SR-IOV-style virtualization (§17) -----------------------------------
+  // VF 0 is the physical function (PF): the device-wide trust domain every
+  // pre-existing caller lives in (unlimited endpoint slice, device-wide
+  // admission, legacy demux). CreateVf carves a virtual function with its
+  // own endpoint-table slice cap, its own AdmissionConfig (token-bucket
+  // quota + sojourn gate enforced on the NIC before any host work), a
+  // private dedup namespace (the VF id is folded into every dedup flow key,
+  // so identical (src, request id) pairs on two tenants can never collide),
+  // and Toeplitz RSS spreading the tenant's flows across its polling cores.
+  struct VfConfig {
+    std::string name;           // tenant label (metrics/debug only)
+    AdmissionConfig admission;  // per-VF gate, on top of the per-service one
+    size_t endpoint_limit = 0;  // max service endpoints owned; 0 = unlimited
+  };
+  struct VfStats {
+    uint64_t rx_requests = 0;      // requests demuxed into this VF
+    uint64_t responses = 0;        // responses transmitted for this VF
+    uint64_t sheds_queue = 0;      // per-reason sheds inside the VF slice
+    uint64_t sheds_quota = 0;
+    uint64_t sheds_sojourn = 0;
+    uint64_t sheds_vf_quota = 0;   // the VF's own token bucket said no
+    uint64_t rss_steered = 0;      // demux decided by the Toeplitz hash
+    uint64_t rss_fallbacks = 0;    // hashed endpoint unusable: legacy picker
+    uint64_t endpoints = 0;        // service endpoints currently owned
   };
 
   struct Stats {
@@ -139,6 +170,7 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     uint64_t requests_shed_queue = 0;
     uint64_t requests_shed_quota = 0;
     uint64_t requests_shed_sojourn = 0;
+    uint64_t requests_shed_vf_quota = 0;  // per-VF (tenant) quota sheds
     // Congestion control (§15): grants attached to responses, and CE marks
     // observed on request frames echoed back to the sender.
     uint64_t grants_issued = 0;
@@ -183,7 +215,8 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // into the shadow.
   void RestoreEndpoint(uint32_t id, uint32_t service_id, Pid pid,
                        uint64_t code_ptr, uint64_t data_ptr,
-                       uint64_t dma_buffer_iova);
+                       uint64_t dma_buffer_iova, uint32_t vf = 0);
+  void RestoreVf(uint32_t vf, const VfConfig& config);
   void RestoreKernelChannel(uint32_t id);
   void RestoreContinuation(uint32_t id);
   void RestoreAdmission(const AdmissionConfig& admission);
@@ -206,11 +239,27 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // These model uncached register writes from the kernel/runtime; each call
   // takes effect after one device hop.
 
+  // Carves a virtual function. Control-plane mutation: write-through
+  // shadowed so the partition survives a device crash. Returns the VF id
+  // (>= 1; VF 0 is the PF and always exists).
+  uint32_t CreateVf(VfConfig config);
+  size_t NumVfs() const { return vfs_.size(); }  // including the PF slot
+  const VfConfig& vf_config(uint32_t vf) const { return vfs_[vf].config; }
+  const VfStats& vf_stats(uint32_t vf) const { return vfs_[vf].stats; }
+
   // Binds a service endpoint. `dma_buffer_iova` is a host buffer (mapped in
   // the IOMMU by the runtime) for large-payload fallback; 0 disables DMA.
   // Returns the endpoint id.
   uint32_t AllocateEndpoint(uint32_t service_id, Pid pid, uint64_t code_ptr,
                             uint64_t data_ptr, uint64_t dma_buffer_iova);
+
+  // Same, but inside a VF's endpoint-table slice; refuses (nullopt) when the
+  // VF's slice cap or the global table is exhausted — a tenant cannot grow
+  // past its partition, only fail loudly at its own allocation.
+  std::optional<uint32_t> AllocateEndpointOnVf(uint32_t vf, uint32_t service_id,
+                                               Pid pid, uint64_t code_ptr,
+                                               uint64_t data_ptr,
+                                               uint64_t dma_buffer_iova);
 
   // The process entered (left) its user-mode poll loop on this endpoint.
   void ActivateEndpoint(uint32_t endpoint, int core);
@@ -275,6 +324,7 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     uint64_t queue = 0;
     uint64_t quota = 0;
     uint64_t sojourn = 0;
+    uint64_t vf_quota = 0;
   };
   EndpointSheds endpoint_sheds(uint32_t endpoint) const;
   // Event trace ring (§6: tracing/statistics integration).
@@ -325,6 +375,7 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     bool is_continuation = false;
     uint32_t id = 0;
     uint32_t service_id = 0;
+    uint32_t vf = 0;  // owning virtual function (0 = PF)
     Pid pid = kNoPid;
     uint64_t code_ptr = 0;
     uint64_t data_ptr = 0;
@@ -355,6 +406,15 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     uint64_t shed_queue = 0;
     uint64_t shed_quota = 0;
     uint64_t shed_sojourn = 0;
+    uint64_t shed_vf_quota = 0;
+  };
+
+  // Per-VF runtime state. The config is control-plane (shadowed, replayed);
+  // the quota bucket and stats are volatile and die with the firmware.
+  struct VfState {
+    VfConfig config;
+    std::optional<TokenBucket> quota;  // built from config.admission
+    VfStats stats;
   };
 
   // Address decode.
@@ -384,12 +444,31 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // (a = endpoint, b = reason) before handing off to TransmitResponse (which
   // aborts the dedup entry so a retransmit may run later).
   void Shed(Endpoint& ep, const PreparedRequest& request, ShedReason reason);
-  // Admission policy: per-service quota, then the sojourn gate over the
-  // queue this request would join (endpoint pending queue, or the shared
-  // cold queue when `cold`). kNone = admit.
+  // True when any admission gate applies to this endpoint: the device-wide
+  // config, or the owning VF's own AdmissionConfig.
+  bool AdmissionActive(const Endpoint& ep) const;
+  // Tightest queue-depth bound over `base`: device-wide admission limit,
+  // then the owning VF's limit.
+  size_t EffectiveDepthLimit(const Endpoint& ep, size_t base) const;
+  // Admission policy: per-VF tenant quota first (the outer trust boundary),
+  // then per-service quota, then the sojourn gate over the queue this
+  // request would join (endpoint pending queue, or the shared cold queue
+  // when `cold`). kNone = admit.
   ShedReason AdmissionCheck(Endpoint& ep, bool cold);
+  // The VF tenant bucket alone. Unlike the overload gates, this is a rate
+  // contract: it also meters the hot path, where a parked core would
+  // otherwise let a surging tenant dispatch for free. kNone = admit.
+  ShedReason VfQuotaCheck(Endpoint& ep);
+  // Dedup namespace key: the owning VF id folded into the high bits of the
+  // 48-bit (src ip, src port) flow key, so tenants can never collide.
+  uint64_t VfFlowKey(uint32_t endpoint, uint32_t src_ip,
+                     uint16_t src_port) const;
   // Demux: choose which of a service's endpoints receives this request.
-  uint32_t PickEndpoint(const std::vector<uint32_t>& candidates) const;
+  // Inside a VF (slice endpoints share one vf id per service) the Toeplitz
+  // hash of the 4-tuple picks the core, keeping flow affinity; the PF keeps
+  // the legacy stalled-core-first heuristic.
+  uint32_t PickEndpoint(const std::vector<uint32_t>& candidates,
+                        const Ipv4Header& ip, const UdpHeader& udp);
   // After an endpoint loses its core, queued work must not strand: restart
   // via the cold path.
   void MaybeRestartCold(Endpoint& ep);
@@ -442,6 +521,9 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // config_.admission) and a sojourn gate over the shared cold queue.
   std::unordered_map<uint32_t, TokenBucket> service_quota_;
   SojournGate cold_sojourn_;
+  // VF partitions; slot 0 is the PF. Configs are control-plane state
+  // (rebuilt by shadow replay); buckets/stats are volatile.
+  std::vector<VfState> vfs_;
   // ECN-capable senders (src ip -> last request arrival), the denominator of
   // the per-sender grant.
   std::unordered_map<uint32_t, SimTime> cc_senders_;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <memory>
+#include <optional>
 #include <utility>
 
 namespace lauberhorn {
@@ -20,7 +21,8 @@ LauberhornRuntime::LauberhornRuntime(Simulator& sim, Kernel& kernel, LauberhornN
   next_dma_buffer_ = config_.dma_region_base;
 }
 
-uint32_t LauberhornRuntime::RegisterService(const ServiceDef& service, int max_cores) {
+uint32_t LauberhornRuntime::RegisterService(const ServiceDef& service, int max_cores,
+                                            uint32_t vf) {
   Process* process = kernel_.CreateProcess(service.name);
   uint32_t first = 0;
   for (int i = 0; i < max_cores; ++i) {
@@ -32,8 +34,10 @@ uint32_t LauberhornRuntime::RegisterService(const ServiceDef& service, int max_c
     // service's dispatch stub and its data segment.
     const uint64_t code_ptr = 0x5000'0000ULL + static_cast<uint64_t>(service.service_id) * 0x1000;
     const uint64_t data_ptr = 0x7000'0000ULL + static_cast<uint64_t>(service.service_id) * 0x10000;
-    const uint32_t ep_id = nic_.AllocateEndpoint(service.service_id, process->pid,
-                                                 code_ptr, data_ptr, dma_buffer);
+    const std::optional<uint32_t> allocated = nic_.AllocateEndpointOnVf(
+        vf, service.service_id, process->pid, code_ptr, data_ptr, dma_buffer);
+    assert(allocated.has_value() && "VF endpoint slice exhausted");
+    const uint32_t ep_id = *allocated;
     auto rt = std::make_unique<EndpointRt>();
     rt->endpoint = ep_id;
     rt->service = &service;

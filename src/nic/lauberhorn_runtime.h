@@ -70,8 +70,10 @@ class LauberhornRuntime : public SchedStateListener {
                     Config config);
 
   // Creates the process and `max_cores` endpoints (+ loop threads) for a
-  // service. Returns the first endpoint id.
-  uint32_t RegisterService(const ServiceDef& service, int max_cores = 1);
+  // service, allocating from `vf`'s endpoint slice (0 = PF). Returns the
+  // first endpoint id.
+  uint32_t RegisterService(const ServiceDef& service, int max_cores = 1,
+                           uint32_t vf = 0);
 
   // Creates dispatcher threads + kernel channels and hooks the NIC.
   void Start();

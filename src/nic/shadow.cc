@@ -7,6 +7,17 @@
 
 namespace lauberhorn {
 
+void NicShadow::RecordVf(uint32_t vf, const LauberhornNic::VfConfig& config) {
+  ++writes_;
+  for (auto& entry : vfs_) {
+    if (entry.first == vf) {
+      entry.second = config;
+      return;
+    }
+  }
+  vfs_.emplace_back(vf, config);
+}
+
 void NicShadow::RecordEndpoint(const EndpointRecord& record) {
   ++writes_;
   endpoints_.push_back(record);
@@ -85,6 +96,11 @@ NicShadow::ReplayCounts NicShadow::ReplayInto(LauberhornNic& nic) {
   if (admission_recorded_) {
     nic.RestoreAdmission(admission_);
   }
+  // VF partitions first: restored endpoints assert their owning VF exists.
+  for (const auto& [vf, config] : vfs_) {
+    nic.RestoreVf(vf, config);
+    ++counts.vfs;
+  }
   for (uint32_t id : kernel_channels_) {
     nic.RestoreKernelChannel(id);
     ++counts.kernel_channels;
@@ -92,7 +108,7 @@ NicShadow::ReplayCounts NicShadow::ReplayInto(LauberhornNic& nic) {
   for (const EndpointRecord& record : endpoints_) {
     nic.RestoreEndpoint(record.id, record.service_id, record.pid,
                         record.code_ptr, record.data_ptr,
-                        record.dma_buffer_iova);
+                        record.dma_buffer_iova, record.vf);
     ++counts.endpoints;
   }
   for (uint32_t id : continuations_) {
@@ -188,6 +204,7 @@ void NicRecoveryManager::FinishRecovery() {
   }
   nic_.CompleteReset();
   const NicShadow::ReplayCounts counts = shadow_.ReplayInto(nic_);
+  stats_.replayed_vfs += counts.vfs;
   stats_.replayed_endpoints += counts.endpoints;
   stats_.replayed_kernel_channels += counts.kernel_channels;
   stats_.replayed_continuations += counts.continuations;

@@ -37,8 +37,10 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <utility>
 #include <vector>
 
+#include "src/nic/lauberhorn_nic.h"
 #include "src/os/kernel.h"
 #include "src/overload/overload.h"
 #include "src/proto/rpc_message.h"
@@ -47,7 +49,6 @@
 
 namespace lauberhorn {
 
-class LauberhornNic;
 class FaultInjector;
 
 class NicShadow {
@@ -59,6 +60,7 @@ class NicShadow {
     uint64_t code_ptr = 0;
     uint64_t data_ptr = 0;
     uint64_t dma_buffer_iova = 0;
+    uint32_t vf = 0;
   };
 
   enum class DedupState : uint8_t {
@@ -68,6 +70,7 @@ class NicShadow {
   };
 
   struct ReplayCounts {
+    uint64_t vfs = 0;
     uint64_t endpoints = 0;
     uint64_t kernel_channels = 0;
     uint64_t continuations = 0;
@@ -80,6 +83,7 @@ class NicShadow {
       : dedup_window_(dedup_window) {}
 
   // --- write-through mirror (called by the NIC / control plane) ---
+  void RecordVf(uint32_t vf, const LauberhornNic::VfConfig& config);
   void RecordEndpoint(const EndpointRecord& record);
   void RecordKernelChannel(uint32_t id);
   void RecordContinuationAllocated(uint32_t id);
@@ -97,6 +101,7 @@ class NicShadow {
   // re-pin them (their loss is already accounted).
   ReplayCounts ReplayInto(LauberhornNic& nic);
 
+  size_t vf_count() const { return vfs_.size(); }
   size_t endpoint_count() const { return endpoints_.size(); }
   size_t kernel_channel_count() const { return kernel_channels_.size(); }
   size_t continuation_count() const { return continuations_.size(); }
@@ -110,6 +115,9 @@ class NicShadow {
   };
 
   size_t dedup_window_;
+  // VF partitions in creation order; replayed before endpoints so that
+  // restored endpoints find their owning VF slice already present.
+  std::vector<std::pair<uint32_t, LauberhornNic::VfConfig>> vfs_;
   std::vector<EndpointRecord> endpoints_;  // in allocation order
   std::vector<uint32_t> kernel_channels_;  // in allocation order
   std::vector<uint32_t> continuations_;    // currently allocated
@@ -140,6 +148,7 @@ class NicRecoveryManager {
     uint64_t heartbeats = 0;
     uint64_t watchdog_fires = 0;  // recoveries started
     uint64_t recoveries = 0;      // recoveries completed
+    uint64_t replayed_vfs = 0;
     uint64_t replayed_endpoints = 0;
     uint64_t replayed_kernel_channels = 0;
     uint64_t replayed_continuations = 0;

@@ -1,0 +1,59 @@
+#include "src/nic/toeplitz.h"
+
+#include <cassert>
+
+namespace lauberhorn {
+
+const ToeplitzKey kDefaultToeplitzKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+};
+
+uint32_t ToeplitzHash(const ToeplitzKey& key, const uint8_t* data, size_t len) {
+  assert(8 * len + 32 <= 8 * key.size());
+  // `window` keeps the next 32 key bits in its upper half; after each input
+  // byte's 8 shifts the freed low byte is refilled from the key stream.
+  uint64_t window = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    window = (window << 8) | key[i];
+  }
+  size_t next_key_byte = 8;
+  uint32_t hash = 0;
+  for (size_t i = 0; i < len; ++i) {
+    const uint8_t byte = data[i];
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1) {
+        hash ^= static_cast<uint32_t>(window >> 32);
+      }
+      window <<= 1;
+    }
+    if (next_key_byte < key.size()) {
+      window |= key[next_key_byte];
+    }
+    ++next_key_byte;
+  }
+  return hash;
+}
+
+uint32_t ToeplitzHash4Tuple(const ToeplitzKey& key, uint32_t src_ip,
+                            uint32_t dst_ip, uint16_t src_port,
+                            uint16_t dst_port) {
+  uint8_t input[12];
+  input[0] = static_cast<uint8_t>(src_ip >> 24);
+  input[1] = static_cast<uint8_t>(src_ip >> 16);
+  input[2] = static_cast<uint8_t>(src_ip >> 8);
+  input[3] = static_cast<uint8_t>(src_ip);
+  input[4] = static_cast<uint8_t>(dst_ip >> 24);
+  input[5] = static_cast<uint8_t>(dst_ip >> 16);
+  input[6] = static_cast<uint8_t>(dst_ip >> 8);
+  input[7] = static_cast<uint8_t>(dst_ip);
+  input[8] = static_cast<uint8_t>(src_port >> 8);
+  input[9] = static_cast<uint8_t>(src_port);
+  input[10] = static_cast<uint8_t>(dst_port >> 8);
+  input[11] = static_cast<uint8_t>(dst_port);
+  return ToeplitzHash(key, input, sizeof(input));
+}
+
+}  // namespace lauberhorn

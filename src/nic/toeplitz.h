@@ -1,0 +1,40 @@
+// Toeplitz hash for receive-side scaling (RSS), as specified by the
+// Microsoft NDIS RSS documentation and implemented by every SR-IOV NIC the
+// smart_nic exemplar models: the hash walks the input bit-serially (MSB
+// first) and XORs in a sliding 32-bit window of the 320-bit secret key for
+// every set bit. The same (key, 5-tuple) always lands on the same queue, so
+// a flow keeps core affinity while distinct flows of one tenant spread
+// across that tenant's polling cores.
+#ifndef SRC_NIC_TOEPLITZ_H_
+#define SRC_NIC_TOEPLITZ_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace lauberhorn {
+
+// 40-byte key: enough for the IPv4 4-tuple input (12 bytes = 96 bits, the
+// hash window needs input_bits + 32 <= 320 key bits).
+using ToeplitzKey = std::array<uint8_t, 40>;
+
+// The well-known Microsoft default verification key. Real deployments
+// randomize the key per device (a predictable key lets a tenant aim flows at
+// one victim queue); the simulator keeps the default so hash placement is
+// reproducible across runs.
+extern const ToeplitzKey kDefaultToeplitzKey;
+
+// Core bit-serial hash over `len` bytes of `data`. `len` must satisfy
+// 8 * len + 32 <= 8 * key.size().
+uint32_t ToeplitzHash(const ToeplitzKey& key, const uint8_t* data, size_t len);
+
+// IPv4 4-tuple input in the NDIS-specified order and byte layout:
+// src_addr | dst_addr | src_port | dst_port, each big-endian. Addresses and
+// ports are passed in host order (as carried by Ipv4Header/UdpHeader).
+uint32_t ToeplitzHash4Tuple(const ToeplitzKey& key, uint32_t src_ip,
+                            uint32_t dst_ip, uint16_t src_port,
+                            uint16_t dst_port);
+
+}  // namespace lauberhorn
+
+#endif  // SRC_NIC_TOEPLITZ_H_

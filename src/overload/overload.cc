@@ -15,6 +15,8 @@ std::string ToString(ShedReason reason) {
       return "quota";
     case ShedReason::kSojourn:
       return "sojourn";
+    case ShedReason::kVfQuota:
+      return "vf_quota";
   }
   return "unknown";
 }
@@ -26,9 +28,20 @@ TokenBucket::TokenBucket(double rate_per_sec, double burst)
 
 void TokenBucket::Refill(SimTime now) {
   if (now <= refill_at_) return;
-  tokens_ = std::min(burst_,
-                     tokens_ + ToSeconds(now - refill_at_) * rate_per_sec_);
+  // Clamp the accumulation at `burst_` *before* adding it to the balance.
+  // A long idle gap at picosecond clock resolution makes
+  // rate * elapsed_seconds enormous (minutes of idle at 1e6 rps is ~1e9
+  // tokens); summing that with a fractional balance first discards the
+  // fraction's low bits in the double mantissa, and with extreme rates the
+  // product itself can overflow to +inf before the old code's min().
+  const double accumulated = ToSeconds(now - refill_at_) * rate_per_sec_;
   refill_at_ = now;
+  if (!(accumulated < burst_ - tokens_)) {
+    // Also covers accumulated == inf/NaN: saturate at a full bucket.
+    tokens_ = burst_;
+    return;
+  }
+  tokens_ += accumulated;
 }
 
 bool TokenBucket::TryTake(SimTime now) {

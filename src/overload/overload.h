@@ -30,6 +30,7 @@ enum class ShedReason : uint32_t {
   kQueueFull = 1,  // bounded queue (endpoint/cold/socket/ring) at capacity
   kQuota = 2,      // per-service token-bucket quota exhausted
   kSojourn = 3,    // CoDel-style sojourn gate: standing delay above target
+  kVfQuota = 4,    // per-VF (tenant) token-bucket quota exhausted
 };
 
 std::string ToString(ShedReason reason);

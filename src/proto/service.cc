@@ -25,6 +25,15 @@ const ServiceDef* ServiceRegistry::FindByPort(uint16_t port) const {
   return it != by_port_.end() ? it->second : nullptr;
 }
 
+std::vector<const ServiceDef*> ServiceRegistry::All() const {
+  std::vector<const ServiceDef*> out;
+  out.reserve(services_.size());
+  for (const auto& def : services_) {
+    out.push_back(def.get());
+  }
+  return out;
+}
+
 ServiceDef ServiceRegistry::MakeEchoService(uint32_t service_id, uint16_t port,
                                             Duration service_time) {
   ServiceDef def;

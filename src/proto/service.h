@@ -80,6 +80,8 @@ class ServiceRegistry {
   const ServiceDef* Find(uint32_t service_id) const;
   const ServiceDef* FindByPort(uint16_t port) const;
   size_t size() const { return services_.size(); }
+  // All registered services in registration order.
+  std::vector<const ServiceDef*> All() const;
 
   // Builds a canonical echo service: method 0 takes kBytes and returns them.
   static ServiceDef MakeEchoService(uint32_t service_id, uint16_t port,

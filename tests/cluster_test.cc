@@ -140,6 +140,66 @@ TEST(LbPolicyTest, ConsistentHashRingUnchangedByDegrade) {
   }
 }
 
+TEST(DirectoryTest, TenantScopedResolve) {
+  ServiceDirectory directory;
+  ReplicaInfo a = StubReplica(0);
+  a.tenant = 1;
+  ReplicaInfo b = StubReplica(1);
+  b.tenant = 2;
+  ReplicaInfo shared = StubReplica(2);  // kAnyTenant: serves everyone
+  directory.AddReplica(1, a);
+  directory.AddReplica(1, b);
+  directory.AddReplica(1, shared);
+
+  // A tenant-scoped edge sees only its own replicas plus shared ones.
+  EXPECT_EQ(directory.Resolve(1, 0, /*tenant=*/1),
+            (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(directory.Resolve(1, 0, /*tenant=*/2),
+            (std::vector<size_t>{1, 2}));
+  // An unscoped edge (and the legacy overload) sees everything.
+  EXPECT_EQ(directory.Resolve(1, 0, kAnyTenant).size(), 3u);
+  EXPECT_EQ(directory.Resolve(1, 0).size(), 3u);
+  // Health filtering still composes with tenant filtering.
+  directory.MarkDown(1, 0, Microseconds(100));
+  EXPECT_EQ(directory.Resolve(1, Microseconds(50), /*tenant=*/1),
+            (std::vector<size_t>{2}));
+}
+
+TEST(LbPolicyTest, ConsistentHashVnodeIdentitiesNeverAlias) {
+  // Regression for the old ring-point packing ((service_id<<32) ^ (r<<8) ^ v),
+  // which structurally aliased distinct (replica, vnode) pairs once vnodes
+  // exceeded 256 — e.g. (r=1, v=256) collided with (r=2, v=0) before hashing,
+  // silently thinning the ring. With seed-then-mix derivation every identity
+  // is distinct: the ring holds exactly replicas * vnodes points.
+  ConsistentHashPolicy policy(/*vnodes_per_replica=*/300);
+  EXPECT_EQ(policy.RingPointCount(/*service_id=*/1, /*num_replicas=*/2),
+            600u);
+  EXPECT_EQ(policy.RingPointCount(/*service_id=*/1, /*num_replicas=*/8),
+            2400u);
+}
+
+TEST(LbPolicyTest, VnodeCollisionTieBreakIsDeterministic) {
+  // If two vnodes ever do land on the same hash point, ownership must not
+  // depend on insertion order: the (replica id, vnode index)-smallest wins.
+  EXPECT_TRUE(VnodeCollisionWins(/*r_new=*/1, /*v_new=*/5, /*r_old=*/2,
+                                 /*v_old=*/0));
+  EXPECT_FALSE(VnodeCollisionWins(2, 0, 1, 5));
+  EXPECT_TRUE(VnodeCollisionWins(1, 3, 1, 7));
+  EXPECT_FALSE(VnodeCollisionWins(1, 7, 1, 3));
+  // Antisymmetry: swapping arguments flips the answer for distinct vnodes.
+  for (size_t r1 = 0; r1 < 3; ++r1) {
+    for (int v1 = 0; v1 < 3; ++v1) {
+      for (size_t r2 = 0; r2 < 3; ++r2) {
+        for (int v2 = 0; v2 < 3; ++v2) {
+          if (r1 == r2 && v1 == v2) continue;
+          EXPECT_NE(VnodeCollisionWins(r1, v1, r2, v2),
+                    VnodeCollisionWins(r2, v2, r1, v1));
+        }
+      }
+    }
+  }
+}
+
 TEST(LbPolicyTest, RoundRobinCycles) {
   ServiceDirectory directory;
   for (uint32_t m = 0; m < 3; ++m) directory.AddReplica(1, StubReplica(m));

@@ -3,12 +3,15 @@
 // moderation, steering), and the trace ring.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/coherence/interconnect.h"
 #include "src/coherence/memory_home.h"
 #include "src/net/headers.h"
 #include "src/nic/cost_model.h"
 #include "src/nic/dispatch_line.h"
 #include "src/nic/dma_nic.h"
+#include "src/nic/toeplitz.h"
 #include "src/sim/random.h"
 #include "src/stats/trace.h"
 
@@ -252,6 +255,82 @@ TEST_F(DmaNicTest, DstPortSteeringPinsServiceToOneQueue) {
     }
   }
   EXPECT_EQ(queues_used, 1) << "application steering binds the port to one queue";
+}
+
+// --- Toeplitz hash (RSS) -----------------------------------------------------
+
+TEST(ToeplitzTest, NdisVerificationVectorsWithPorts) {
+  // Microsoft's RSS verification suite, IPv4 with ports: the hash input is
+  // src addr | dst addr | src port | dst port, all big-endian, keyed with
+  // the default NDIS key. Any drift in bit order, key windowing, or input
+  // layout fails these exact values.
+  EXPECT_EQ(ToeplitzHash4Tuple(kDefaultToeplitzKey, MakeIpv4(66, 9, 149, 187),
+                               MakeIpv4(161, 142, 100, 80), 2794, 1766),
+            0x51ccc178u);
+  EXPECT_EQ(ToeplitzHash4Tuple(kDefaultToeplitzKey, MakeIpv4(199, 92, 111, 2),
+                               MakeIpv4(65, 69, 140, 83), 14230, 4739),
+            0xc626b0eau);
+  EXPECT_EQ(ToeplitzHash4Tuple(kDefaultToeplitzKey, MakeIpv4(24, 19, 198, 95),
+                               MakeIpv4(12, 22, 207, 184), 12898, 38024),
+            0x5c2b394au);
+}
+
+TEST(ToeplitzTest, NdisVerificationVectorsIpOnly) {
+  // Same suite, 2-tuple (addresses only, 8 input bytes).
+  const auto ip_only = [](uint32_t src, uint32_t dst) {
+    uint8_t bytes[8];
+    for (int i = 0; i < 4; ++i) {
+      bytes[i] = static_cast<uint8_t>(src >> (24 - 8 * i));
+      bytes[4 + i] = static_cast<uint8_t>(dst >> (24 - 8 * i));
+    }
+    return ToeplitzHash(kDefaultToeplitzKey, bytes, sizeof(bytes));
+  };
+  EXPECT_EQ(ip_only(MakeIpv4(66, 9, 149, 187), MakeIpv4(161, 142, 100, 80)),
+            0x323e8fc2u);
+  EXPECT_EQ(ip_only(MakeIpv4(199, 92, 111, 2), MakeIpv4(65, 69, 140, 83)),
+            0xd718262au);
+  EXPECT_EQ(ip_only(MakeIpv4(24, 19, 198, 95), MakeIpv4(12, 22, 207, 184)),
+            0xd2d0a5deu);
+}
+
+TEST_F(DmaNicTest, ExplicitPortBindingOverridesRssHash) {
+  DmaNic::Config config;
+  config.num_queues = 4;
+  config.interrupts_enabled = false;
+  Build(config);
+  nic_->BindPort(7777, 3);
+  EXPECT_EQ(nic_->BoundPorts(), 1u);
+  // Every flow to the bound port lands on queue 3 no matter what the
+  // 4-tuple hashes to; flows to other ports still spread by hash.
+  for (uint16_t src = 0; src < 32; ++src) {
+    EXPECT_EQ(nic_->RssQueue(MakeRequest(static_cast<uint16_t>(30000 + src), 7777)), 3u);
+  }
+  std::set<uint32_t> other_queues;
+  for (uint16_t src = 0; src < 64; ++src) {
+    other_queues.insert(
+        nic_->RssQueue(MakeRequest(static_cast<uint16_t>(20000 + src), 8888)));
+  }
+  EXPECT_GE(other_queues.size(), 3u);
+}
+
+TEST_F(DmaNicTest, RebindIsCountedAndTakesEffect) {
+  DmaNic::Config config;
+  config.num_queues = 4;
+  config.interrupts_enabled = false;
+  Build(config);
+  nic_->BindPort(7777, 0);
+  EXPECT_EQ(nic_->rx_rebinds(), 0u);
+  EXPECT_EQ(nic_->RssQueue(MakeRequest(1, 7777)), 0u);
+  // Re-binding to the same queue is a no-op, not a rebind.
+  nic_->BindPort(7777, 0);
+  EXPECT_EQ(nic_->rx_rebinds(), 0u);
+  // Moving the service to another queue is counted and takes effect
+  // immediately — no stale binding keeps steering to the old queue.
+  nic_->BindPort(7777, 2);
+  EXPECT_EQ(nic_->rx_rebinds(), 1u);
+  EXPECT_EQ(nic_->RssQueue(MakeRequest(1, 7777)), 2u);
+  nic_->UnbindPort(7777);
+  EXPECT_EQ(nic_->BoundPorts(), 0u);
 }
 
 TEST_F(DmaNicTest, CorruptFrameDroppedBeforeDma) {

@@ -47,6 +47,39 @@ TEST(TokenBucketTest, MeteredDrainsAndRefills) {
   EXPECT_LE(bucket.available(t0 + Seconds(1)), 4.0);
 }
 
+TEST(TokenBucketTest, LongIdleGapRefillsExactlyToBurst) {
+  // Regression: the old refill added `elapsed * rate` before clamping, so a
+  // long idle gap accumulated a huge intermediate that the clamp then had to
+  // rescue; with pathological rates the addition itself could overflow to
+  // +inf and poison `tokens_`. The refill now clamps before adding. After 10
+  // idle minutes the bucket holds exactly its burst — no more, no less — and
+  // admits exactly `burst` requests.
+  TokenBucket bucket(1e6, 8.0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(bucket.TryTake(0));
+  }
+  EXPECT_FALSE(bucket.TryTake(0));
+  const SimTime later = Seconds(600);
+  EXPECT_DOUBLE_EQ(bucket.available(later), 8.0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(bucket.TryTake(later)) << i;
+  }
+  EXPECT_FALSE(bucket.TryTake(later));
+  // And the next token still arrives on schedule after the burst drains.
+  EXPECT_TRUE(bucket.TryTake(later + Microseconds(1)));
+}
+
+TEST(TokenBucketTest, ExtremeRateSurvivesIdleGap) {
+  // With clamp-before-add, even rate * gap products far beyond double
+  // precision leave the bucket exactly full.
+  TokenBucket bucket(1e18, 2.0);
+  EXPECT_TRUE(bucket.TryTake(0));
+  EXPECT_TRUE(bucket.TryTake(0));
+  const SimTime later = Seconds(600);
+  EXPECT_DOUBLE_EQ(bucket.available(later), 2.0);
+  EXPECT_TRUE(bucket.TryTake(later));
+}
+
 // --- SojournGate -------------------------------------------------------------
 
 TEST(SojournGateTest, BelowTargetNeverSheds) {

@@ -6,6 +6,7 @@
 // the FaultInjector periodic-crash arithmetic.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <tuple>
 #include <unordered_map>
 #include <vector>
@@ -171,7 +172,10 @@ TEST(NicShadowTest, ReplayRulesAcrossTwoResets) {
 // execution counts — the observable for at-most-once across a NIC crash.
 class RecoveryHarness {
  public:
-  explicit RecoveryHarness(MachineConfig config) : machine_(std::move(config)) {
+  explicit RecoveryHarness(
+      MachineConfig config,
+      std::optional<LauberhornNic::VfConfig> vf_config = std::nullopt)
+      : machine_(std::move(config)) {
     ServiceDef def;
     def.service_id = 1;
     def.name = "counted";
@@ -187,7 +191,11 @@ class RecoveryHarness {
     };
     method.SetFixedServiceTime(Nanoseconds(500));
     def.methods[0] = std::move(method);
-    service_ = &machine_.AddService(std::move(def), 2);
+    uint32_t vf = 0;
+    if (vf_config.has_value()) {
+      vf = machine_.CreateVf(*std::move(vf_config));
+    }
+    service_ = &machine_.AddService(std::move(def), 2, vf);
     machine_.Start();
     machine_.StartHotLoop(*service_);
     machine_.sim().RunUntil(Microseconds(100));
@@ -329,6 +337,51 @@ TEST(RecoveryE2eTest, DeterministicAcrossRuns) {
                       harness.machine().nic_shadow()->writes());
   };
   EXPECT_EQ(run(), run());
+}
+
+// Tentpole: a tenant's whole NIC slice — the VF partition, its admission
+// quota, and its endpoint allocations — is OS state, so it survives a NIC
+// crash via shadow replay like everything else, with at-most-once intact.
+TEST(RecoveryE2eTest, VfPartitionAndQuotaSurviveNicCrash) {
+  MachineConfig config = RecoveryConfig();
+  config.faults.nic_crash.first_crash_at = Microseconds(300);
+  config.faults.nic_crash.reset_latency = Microseconds(50);
+  LauberhornNic::VfConfig vf;
+  vf.name = "tenant-a";
+  vf.admission.enabled = true;
+  vf.admission.quota_rps = 5e5;  // generous: no sheds at this offered load
+  vf.admission.quota_burst = 64;
+  vf.endpoint_limit = 2;
+  RecoveryHarness harness(config, vf);
+
+  harness.Run(100, Microseconds(10));
+
+  const auto& stats = harness.machine().nic_recovery()->stats();
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.replayed_vfs, 1u);
+  EXPECT_EQ(stats.replayed_endpoints, 2u);
+
+  // The partition came back: VF 1 exists on the reborn device, carries its
+  // admission config, its endpoint slice is fully restored, and traffic
+  // kept flowing through it after the reset.
+  LauberhornNic& nic = *harness.machine().lauberhorn_nic();
+  ASSERT_EQ(nic.NumVfs(), 2u);
+  EXPECT_EQ(nic.vf_config(1).name, "tenant-a");
+  EXPECT_TRUE(nic.vf_config(1).admission.enabled);
+  EXPECT_EQ(nic.vf_config(1).endpoint_limit, 2u);
+  EXPECT_EQ(nic.vf_stats(1).endpoints, 2u);
+  EXPECT_GT(nic.vf_stats(1).rx_requests, 0u);
+
+  // At-most-once held across the crash: no request executed twice.
+  EXPECT_EQ(harness.DuplicateExecutions(), 0u);
+  EXPECT_EQ(harness.TotalExecutions(), harness.sent());
+  EXPECT_EQ(harness.ok() + harness.machine().client().timeouts(),
+            harness.sent());
+
+  MetricsRegistry metrics;
+  harness.machine().ExportMetrics(metrics);
+  EXPECT_EQ(metrics.Counter("recovery/replayed_vfs"), 1u);
+  EXPECT_EQ(metrics.Counter("nic/vf1/endpoints"), 2u);
 }
 
 // Satellite: an OS crash/restart window does not wipe the NIC's dedup cache
