@@ -32,13 +32,13 @@ std::function<size_t()> MakeLauberhornDepthProbe(Machine& machine,
   if (nic == nullptr) {
     return nullptr;
   }
-  std::vector<uint32_t> endpoints = machine.EndpointsOf(service);
-  return [nic, endpoints = std::move(endpoints)]() -> size_t {
-    size_t depth = nic->ColdQueueDepth();
-    for (uint32_t ep : endpoints) {
-      depth += nic->QueueDepth(ep);
-    }
-    return depth;
+  // ServiceBacklog is the dispatch policy's aggregate signal (§18): every
+  // member endpoint's private queue plus the central queue counted once, so
+  // least-loaded comparisons stay truthful under c-FCFS / JBSQ (where the
+  // per-endpoint queues are empty by design).
+  const uint32_t service_id = service.service_id;
+  return [nic, service_id]() -> size_t {
+    return nic->ColdQueueDepth() + nic->ServiceBacklog(service_id);
   };
 }
 

@@ -435,6 +435,31 @@ void Machine::ExportMetrics(MetricsRegistry& metrics,
     C("overload/sheds_quota", s.requests_shed_quota);
     C("overload/sheds_sojourn", s.requests_shed_sojourn);
     C("overload/sheds_vf_quota", s.requests_shed_vf_quota);
+    // Per-core occupancy: where the NIC's dispatch decisions actually landed
+    // (§18). busy_ns is delivered-to-collected time, queue_depth the live
+    // private backlog of the endpoint active on that core.
+    for (const auto& [core, occ] : lauberhorn_nic_->CoreOccupancySnapshot()) {
+      const std::string base = "nic/core" + std::to_string(core) + "/";
+      metrics.SetCounter(prefix + base + "dispatches", occ.dispatches);
+      metrics.SetCounter(prefix + base + "busy_ns",
+                         static_cast<uint64_t>(ToNanoseconds(occ.busy_time)));
+      metrics.SetGauge(prefix + base + "queue_depth",
+                       static_cast<double>(occ.queue_depth));
+    }
+    // Per-discipline dispatch counters, keyed by policy name.
+    for (const auto& [kind, ps] : lauberhorn_nic_->PolicyStatsSnapshot()) {
+      const std::string base = std::string("dispatch/") + ToString(kind) + "/";
+      metrics.SetCounter(prefix + base + "hot_dispatches", ps.hot_dispatches);
+      metrics.SetCounter(prefix + base + "local_queued", ps.local_queued);
+      metrics.SetCounter(prefix + base + "central_queued", ps.central_queued);
+      metrics.SetCounter(prefix + base + "central_pulled", ps.central_pulled);
+      metrics.SetCounter(prefix + base + "jbsq_replenished",
+                         ps.jbsq_replenished);
+      metrics.SetCounter(prefix + base + "retargets", ps.retargets);
+      metrics.SetCounter(prefix + base + "returned_on_retire",
+                         ps.returned_on_retire);
+      metrics.SetCounter(prefix + base + "drained_cold", ps.drained_cold);
+    }
     // Per-tenant (VF) slices; VF 0 is the PF and carries no tenant quota.
     for (uint32_t vf = 1; vf < lauberhorn_nic_->NumVfs(); ++vf) {
       const LauberhornNic::VfStats& v = lauberhorn_nic_->vf_stats(vf);

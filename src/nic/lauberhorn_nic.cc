@@ -279,6 +279,13 @@ void LauberhornNic::CrashNow() {
   next_kernel_channel_ = 0;
   service_quota_.clear();
   cc_senders_.clear();
+  // Dispatch-discipline queues are device state; their contents die here.
+  // The *configs* are derived from the OS's ServiceDef/VfConfig on first
+  // use after replay, and the counters persist like stats_.
+  for (auto& [service_id, group] : groups_) {
+    group.central.clear();
+    group.sojourn = SojournGate{};
+  }
   dedup_ = RpcDedupCache(config_.dedup_window);
   grant_ramp_until_ = 0;
   // VF partitions are device state too: the firmware that knew them is gone.
@@ -355,6 +362,7 @@ void LauberhornNic::DeactivateEndpoint(uint32_t endpoint) {
     Endpoint& ep = endpoints_[endpoint];
     ep.active = false;
     ep.active_core = -1;
+    ReturnLocalQueue(ep);
     MaybeRestartCold(ep);
   });
 }
@@ -377,6 +385,7 @@ void LauberhornNic::RequestRetire(uint32_t endpoint) {
       FillWaiting(ep, LineKind::kRetire);
       ep.active = false;
       ep.active_core = -1;
+      ReturnLocalQueue(ep);
       MaybeRestartCold(ep);
     } else {
       ep.retire_requested = true;
@@ -606,6 +615,25 @@ uint32_t LauberhornNic::PickEndpoint(const std::vector<uint32_t>& candidates,
   if (candidates.size() == 1) {
     return candidates[0];
   }
+  const Endpoint& first = endpoints_[candidates[0]];
+  if (!first.is_continuation && !first.is_kernel) {
+    const DispatchPolicyConfig policy = EnsureGroup(first).config;
+    if (policy.kind != DispatchPolicyKind::kLegacy) {
+      // d-FCFS (§18): the hash *is* the discipline — one flow, one core, no
+      // migration and no saturation fallback; head-of-line blocking behind
+      // a long request is exactly the behavior under measurement. Central
+      // disciplines hash too, but only to attribute the arrival (EWMA,
+      // admission): real placement happens at dispatch time.
+      const uint32_t hash = ToeplitzHash4Tuple(config_.rss_key, ip.src, ip.dst,
+                                               udp.src_port, udp.dst_port);
+      const uint32_t chosen = candidates[hash % candidates.size()];
+      const uint32_t vf = endpoints_[chosen].vf;
+      if (vf != 0) {
+        ++vfs_[vf].stats.rss_steered;
+      }
+      return chosen;
+    }
+  }
   // Tenant slice (§17): Toeplitz RSS over the flow's 4-tuple picks the
   // polling core — one flow keeps cache/core affinity while the tenant's
   // flows spread across its slice. Fall back to the legacy picker when the
@@ -630,43 +658,343 @@ uint32_t LauberhornNic::PickEndpoint(const std::vector<uint32_t>& candidates,
   // active endpoint with the shortest NIC-side queue. If even that queue is
   // deep, spill to an inactive endpoint — the cold path recruits another
   // core (§5.2's dynamic scaling, driven by the NIC's own load statistics).
+  // Every scan breaks ties by the smallest endpoint id: the candidate list
+  // is rebuilt in replay order after a NIC crash, and a first-seen winner
+  // would make pre- and post-replay runs diverge (bit-identical PDES
+  // comparisons depend on the pick being a pure function of endpoint state).
+  uint32_t parked = UINT32_MAX;
   for (uint32_t id : candidates) {
-    if (endpoints_[id].waiting.has_value()) {
-      return id;
+    if (endpoints_[id].waiting.has_value() && id < parked) {
+      parked = id;
     }
   }
-  uint32_t best = candidates[0];
+  if (parked != UINT32_MAX) {
+    return parked;
+  }
+  uint32_t best = UINT32_MAX;
   size_t best_depth = SIZE_MAX;
-  bool found_active = false;
   for (uint32_t id : candidates) {
     const Endpoint& ep = endpoints_[id];
-    if ((ep.active || ep.cold_dispatch_inflight) && ep.pending.size() < best_depth) {
+    if ((ep.active || ep.cold_dispatch_inflight) &&
+        (ep.pending.size() < best_depth ||
+         (ep.pending.size() == best_depth && id < best))) {
       best = id;
       best_depth = ep.pending.size();
-      found_active = true;
     }
   }
-  if (found_active && best_depth >= config_.params.spillover_queue_depth) {
+  if (best != UINT32_MAX && best_depth >= config_.params.spillover_queue_depth) {
+    uint32_t recruit = UINT32_MAX;
     for (uint32_t id : candidates) {
       const Endpoint& ep = endpoints_[id];
-      if (!ep.active && !ep.cold_dispatch_inflight) {
-        return id;  // recruit another core
+      if (!ep.active && !ep.cold_dispatch_inflight && id < recruit) {
+        recruit = id;
       }
     }
+    if (recruit != UINT32_MAX) {
+      return recruit;  // recruit another core
+    }
   }
-  if (found_active) {
+  if (best != UINT32_MAX) {
     return best;
   }
   return candidates[0];
 }
 
 void LauberhornNic::MaybeRestartCold(Endpoint& ep) {
-  if (ep.active || ep.cold_dispatch_inflight || ep.pending.empty()) {
+  if (!ep.active && !ep.cold_dispatch_inflight && !ep.pending.empty()) {
+    PreparedRequest request = std::move(ep.pending.front());
+    ep.pending.pop_front();
+    RouteCold(std::move(request));
+  }
+  if (!ep.is_kernel && !ep.is_continuation && ep.in_use) {
+    // Central disciplines: if this endpoint was the group's last usable
+    // core, the central queue must drain through the kernel path now.
+    MaybeDrainCentral(ep.service_id);
+  }
+}
+
+// -- Dispatch disciplines (§18) -------------------------------------------------
+
+LauberhornNic::DispatchGroup& LauberhornNic::EnsureGroup(const Endpoint& ep) {
+  auto it = groups_.find(ep.service_id);
+  if (it != groups_.end()) {
+    return it->second;
+  }
+  DispatchGroup group;
+  const ServiceDef* service = services_.Find(ep.service_id);
+  if (service != nullptr &&
+      service->dispatch.kind != DispatchPolicyKind::kLegacy) {
+    group.config = service->dispatch;
+  } else if (ep.vf != 0 && vfs_[ep.vf].config.dispatch.has_value()) {
+    group.config = *vfs_[ep.vf].config.dispatch;
+  }
+  return groups_.emplace(ep.service_id, std::move(group)).first->second;
+}
+
+const std::vector<uint32_t>& LauberhornNic::GroupMembers(const Endpoint& ep) {
+  static const std::vector<uint32_t> kNoMembers;
+  const ServiceDef* service = services_.Find(ep.service_id);
+  if (service == nullptr) {
+    return kNoMembers;
+  }
+  auto it = port_to_endpoints_.find(service->udp_port);
+  return it != port_to_endpoints_.end() ? it->second : kNoMembers;
+}
+
+bool LauberhornNic::EndpointUsable(const Endpoint& ep) const {
+  return ep.in_use && ep.degraded_until <= sim_.Now() &&
+         !ep.retire_requested &&
+         (ep.active || ep.waiting.has_value() || ep.cold_dispatch_inflight ||
+          ep.outstanding.has_value());
+}
+
+ShedReason LauberhornNic::CentralAdmissionCheck(Endpoint& ep,
+                                                DispatchGroup& group) {
+  const SimTime now = sim_.Now();
+  const ShedReason vf_reason = VfQuotaCheck(ep);
+  if (vf_reason != ShedReason::kNone) {
+    return vf_reason;
+  }
+  if (config_.admission.enabled && config_.admission.quota_rps > 0) {
+    TokenBucket& bucket =
+        service_quota_
+            .try_emplace(ep.service_id, config_.admission.quota_rps,
+                         config_.admission.quota_burst)
+            .first->second;
+    if (!bucket.TryTake(now)) {
+      return ShedReason::kQuota;
+    }
+  }
+  // The sojourn gate must watch the queue this request would actually join:
+  // under c-FCFS / JBSQ that is the service's central queue, not the
+  // (empty by design) per-endpoint queue.
+  const AdmissionConfig& adm =
+      (ep.vf != 0 && vfs_[ep.vf].config.admission.enabled)
+          ? vfs_[ep.vf].config.admission
+          : config_.admission;
+  const Duration oldest =
+      group.central.empty() ? 0 : now - group.central.front().wire_arrival;
+  if (group.sojourn.ShouldShed(now, oldest, adm.sojourn)) {
+    return ShedReason::kSojourn;
+  }
+  return ShedReason::kNone;
+}
+
+bool LauberhornNic::CentralDispatch(Endpoint& ep, DispatchGroup& group,
+                                    PreparedRequest& request) {
+  const SimTime now = sim_.Now();
+  const std::vector<uint32_t>& members = GroupMembers(ep);
+  // Hot path first: any parked core in the group takes the request now
+  // (lowest id wins, for replay determinism). This is what makes c-FCFS
+  // work-conserving: a core only parks when it is provably idle.
+  uint32_t parked = UINT32_MAX;
+  for (uint32_t id : members) {
+    const Endpoint& member = endpoints_[id];
+    if (member.waiting.has_value() && !member.retire_requested &&
+        member.degraded_until <= now && id < parked &&
+        !(faults_ != nullptr && faults_->NicEndpointWedgedNow(id))) {
+      parked = id;
+    }
+  }
+  if (parked != UINT32_MAX) {
+    Endpoint& target = endpoints_[parked];
+    // Overload gates never fire on the hot path (a parked core means
+    // headroom), but the tenant's rate contract still binds.
+    const ShedReason vf_reason = VfQuotaCheck(target);
+    if (vf_reason != ShedReason::kNone) {
+      Shed(target, request, vf_reason);
+      return true;
+    }
+    if (request.endpoint != parked) {
+      ++group.stats.retargets;
+      request.endpoint = parked;
+    }
+    ++stats_.hot_dispatches;
+    ++group.stats.hot_dispatches;
+    trace_.Emit(now, TraceEvent::kDispatchHot, target.id,
+                static_cast<uint32_t>(request.request_id));
+    if (spans_ != nullptr) {
+      spans_->Record(request.request_id, SpanStage::kAdmitted, now);
+      spans_->Record(request.request_id, SpanStage::kDispatched, now);
+      spans_->Annotate(request.request_id, SpanDispatch::kHot, target.id);
+    }
+    DeliverToWaiting(target, std::move(request));
+    ReplenishJbsq(target);  // top the core's runway back up to k
+    return true;
+  }
+  // JBSQ(k): a busy core with spare credit takes the request onto its
+  // private runway — fewest resident requests wins, ties to the lowest id.
+  if (group.config.kind == DispatchPolicyKind::kJbsq) {
+    uint32_t best = UINT32_MAX;
+    size_t best_resident = SIZE_MAX;
+    for (uint32_t id : members) {
+      const Endpoint& member = endpoints_[id];
+      if (!member.active || member.retire_requested ||
+          member.degraded_until > now) {
+        continue;
+      }
+      const size_t resident = Resident(member);
+      if (resident < group.config.jbsq_k &&
+          (resident < best_resident ||
+           (resident == best_resident && id < best))) {
+        best = id;
+        best_resident = resident;
+      }
+    }
+    if (best != UINT32_MAX) {
+      Endpoint& target = endpoints_[best];
+      const size_t depth_limit =
+          EffectiveDepthLimit(target, config_.params.endpoint_queue_depth);
+      if (target.pending.size() >= depth_limit) {
+        Shed(target, request, ShedReason::kQueueFull);
+        return true;
+      }
+      if (AdmissionActive(target)) {
+        const ShedReason reason = AdmissionCheck(target, /*cold=*/false);
+        if (reason != ShedReason::kNone) {
+          Shed(target, request, reason);
+          return true;
+        }
+      }
+      if (request.endpoint != best) {
+        ++group.stats.retargets;
+        request.endpoint = best;
+      }
+      ++stats_.queued_dispatches;
+      ++group.stats.local_queued;
+      trace_.Emit(now, TraceEvent::kDispatchQueued, target.id,
+                  static_cast<uint32_t>(request.request_id));
+      if (spans_ != nullptr) {
+        spans_->Record(request.request_id, SpanStage::kAdmitted, now);
+        spans_->Record(request.request_id, SpanStage::kDispatched, now);
+        spans_->Annotate(request.request_id, SpanDispatch::kQueued, target.id);
+      }
+      target.pending.push_back(std::move(request));
+      return true;
+    }
+  }
+  // Central queue, as long as someone in the group holds (or is acquiring)
+  // a core. Nobody attached → the caller routes cold, which recruits one.
+  bool attached = false;
+  for (uint32_t id : members) {
+    if (EndpointUsable(endpoints_[id])) {
+      attached = true;
+      break;
+    }
+  }
+  if (!attached) {
+    return false;
+  }
+  // The shared queue absorbs what the per-endpoint queues would have held
+  // jointly: one endpoint budget per member.
+  const size_t limit =
+      EffectiveDepthLimit(ep, config_.params.endpoint_queue_depth) *
+      std::max<size_t>(1, members.size());
+  if (group.central.size() >= limit) {
+    Shed(ep, request, ShedReason::kQueueFull);
+    return true;
+  }
+  if (AdmissionActive(ep)) {
+    const ShedReason reason = CentralAdmissionCheck(ep, group);
+    if (reason != ShedReason::kNone) {
+      Shed(ep, request, reason);
+      return true;
+    }
+  }
+  ++stats_.queued_dispatches;
+  ++group.stats.central_queued;
+  trace_.Emit(now, TraceEvent::kDispatchQueued, ep.id,
+              static_cast<uint32_t>(request.request_id));
+  if (spans_ != nullptr) {
+    spans_->Record(request.request_id, SpanStage::kAdmitted, now);
+    spans_->Record(request.request_id, SpanStage::kDispatched, now);
+    spans_->Annotate(request.request_id, SpanDispatch::kQueued, ep.id);
+  }
+  group.central.push_back(std::move(request));
+  return true;
+}
+
+void LauberhornNic::ReplenishJbsq(Endpoint& ep) {
+  if (ep.is_kernel || ep.is_continuation) {
     return;
   }
-  PreparedRequest request = std::move(ep.pending.front());
-  ep.pending.pop_front();
-  RouteCold(std::move(request));
+  auto it = groups_.find(ep.service_id);
+  if (it == groups_.end() ||
+      it->second.config.kind != DispatchPolicyKind::kJbsq) {
+    return;
+  }
+  DispatchGroup& group = it->second;
+  if (!ep.active || ep.retire_requested || ep.degraded_until > sim_.Now()) {
+    return;
+  }
+  while (Resident(ep) < group.config.jbsq_k && !group.central.empty()) {
+    PreparedRequest request = std::move(group.central.front());
+    group.central.pop_front();
+    if (request.endpoint != ep.id) {
+      ++group.stats.retargets;
+      request.endpoint = ep.id;
+    }
+    ++group.stats.jbsq_replenished;
+    ep.pending.push_back(std::move(request));
+  }
+}
+
+void LauberhornNic::ReturnLocalQueue(Endpoint& ep) {
+  if (ep.is_kernel || ep.is_continuation || ep.pending.empty()) {
+    return;
+  }
+  auto it = groups_.find(ep.service_id);
+  if (it == groups_.end() || !IsCentral(it->second.config)) {
+    return;
+  }
+  // The unspent credits go back to the *front* of the central queue in
+  // their original order: they are older than anything queued behind them,
+  // and FCFS across the group is the discipline's whole contract.
+  DispatchGroup& group = it->second;
+  group.stats.returned_on_retire += ep.pending.size();
+  while (!ep.pending.empty()) {
+    group.central.push_front(std::move(ep.pending.back()));
+    ep.pending.pop_back();
+  }
+}
+
+void LauberhornNic::MaybeDrainCentral(uint32_t service_id) {
+  auto it = groups_.find(service_id);
+  if (it == groups_.end() || it->second.central.empty()) {
+    return;
+  }
+  DispatchGroup& group = it->second;
+  const ServiceDef* service = services_.Find(service_id);
+  if (service != nullptr) {
+    auto members = port_to_endpoints_.find(service->udp_port);
+    if (members != port_to_endpoints_.end()) {
+      for (uint32_t id : members->second) {
+        if (EndpointUsable(endpoints_[id])) {
+          return;  // a live core will poll and pull the queue
+        }
+      }
+    }
+  }
+  // Every member retired or degraded: the central queue would strand behind
+  // cores that will never poll again. Drain it through the kernel path.
+  while (!group.central.empty()) {
+    PreparedRequest request = std::move(group.central.front());
+    group.central.pop_front();
+    ++group.stats.drained_cold;
+    RouteCold(std::move(request));
+  }
+}
+
+bool LauberhornNic::HasBacklog(Endpoint& ep) {
+  if (!ep.pending.empty()) {
+    return true;
+  }
+  if (ep.is_kernel || ep.is_continuation) {
+    return false;
+  }
+  auto it = groups_.find(ep.service_id);
+  return it != groups_.end() && IsCentral(it->second.config) &&
+         !it->second.central.empty();
 }
 
 void LauberhornNic::DispatchPrepared(PreparedRequest request) {
@@ -690,6 +1018,31 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
       ep.pending.push_back(std::move(request));
     }
     return;
+  }
+  DispatchGroup* dfcfs = nullptr;
+  if (!ep.is_kernel) {
+    DispatchGroup& group = EnsureGroup(ep);
+    if (IsCentral(group.config)) {
+      if (CentralDispatch(ep, group, request)) {
+        return;
+      }
+      // No group endpoint holds (or is acquiring) a core: recruit one
+      // through the kernel path, exactly like the per-endpoint bootstrap.
+      if (AdmissionActive(ep)) {
+        const ShedReason reason = AdmissionCheck(ep, /*cold=*/true);
+        if (reason != ShedReason::kNone) {
+          Shed(ep, request, reason);
+          return;
+        }
+      }
+      RouteCold(std::move(request));
+      return;
+    }
+    if (group.config.kind == DispatchPolicyKind::kDFcfs) {
+      // d-FCFS rides the per-endpoint path below; tag its group so the
+      // policy counters attribute the traffic to the discipline.
+      dfcfs = &group;
+    }
   }
   if (ep.degraded_until > sim_.Now()) {
     // Demoted: the hot path was not making progress, so bypass it entirely
@@ -716,6 +1069,9 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
       return;
     }
     ++stats_.hot_dispatches;
+    if (dfcfs != nullptr) {
+      ++dfcfs->stats.hot_dispatches;
+    }
     trace_.Emit(sim_.Now(), TraceEvent::kDispatchHot, ep.id,
                 static_cast<uint32_t>(request.request_id));
     if (spans_ != nullptr) {
@@ -742,6 +1098,9 @@ void LauberhornNic::DispatchPrepared(PreparedRequest request) {
       }
     }
     ++stats_.queued_dispatches;
+    if (dfcfs != nullptr) {
+      ++dfcfs->stats.local_queued;
+    }
     trace_.Emit(sim_.Now(), TraceEvent::kDispatchQueued, ep.id,
                 static_cast<uint32_t>(request.request_id));
     if (spans_ != nullptr) {
@@ -899,7 +1258,16 @@ uint16_t LauberhornNic::ComputeGrant(const Endpoint& ep) {
   }
   const size_t limit =
       EffectiveDepthLimit(ep, config_.params.endpoint_queue_depth);
-  const size_t depth = ep.pending.size();
+  // Under a central discipline the backlog a new sender would join lives in
+  // the service's shared queue, so grants must see it (DispatchBacklog);
+  // per-endpoint disciplines keep the private-queue depth.
+  size_t depth = ep.pending.size();
+  if (!ep.is_kernel && !ep.is_continuation) {
+    auto group = groups_.find(ep.service_id);
+    if (group != groups_.end() && IsCentral(group->second.config)) {
+      depth += group->second.central.size();
+    }
+  }
   const size_t headroom = depth >= limit ? 0 : limit - depth;
   size_t share = headroom / std::max<size_t>(1, active);
   if (grant_ramp_until_ > now) {
@@ -1038,7 +1406,12 @@ void LauberhornNic::DeliverToWaiting(Endpoint& ep, PreparedRequest request) {
   const DispatchLine dispatch = BuildDispatch(ep, request, /*kernel_channel=*/false);
   LineData line = dispatch.Encode(line_size());
   StoredLine(CtrlAddr(ep.id, waiting.parity)) = line;
-  ep.outstanding = OutstandingRequest{waiting.parity, std::move(request)};
+  const int core = static_cast<int>(waiting.requester);
+  if (!ep.is_continuation) {
+    ++core_stats_[core].dispatches;
+  }
+  ep.outstanding =
+      OutstandingRequest{waiting.parity, std::move(request), sim_.Now(), core};
 
   if (dispatch.via_dma) {
     ++stats_.dma_fallback_rx;
@@ -1118,9 +1491,11 @@ void LauberhornNic::ArmTryagain(Endpoint& ep) {
     }
     endpoint.waiting->tryagain_event = kInvalidEventId;
     if (!endpoint.is_kernel) {
-      if (!endpoint.pending.empty()) {
-        // TRYAGAIN with work queued: the hot path is not delivering (the
-        // wedge signature). Consecutive occurrences demote the endpoint.
+      if (HasBacklog(endpoint)) {
+        // TRYAGAIN with work queued — on the endpoint's own queue or (for
+        // c-FCFS / JBSQ) the service's central queue: the hot path is not
+        // delivering (the wedge signature). Consecutive occurrences demote
+        // the endpoint.
         ++endpoint.tryagain_streak;
         if (endpoint.tryagain_streak >= config_.params.degrade_tryagain_threshold) {
           DegradeEndpoint(endpoint);
@@ -1142,6 +1517,10 @@ void LauberhornNic::DegradeEndpoint(Endpoint& ep) {
   trace_.Emit(sim_.Now(), TraceEvent::kDegrade, ep.id, ep.tryagain_streak);
   ep.tryagain_streak = 0;
   ++stats_.degradations;
+  // Central disciplines: hand the local runway back to healthy group
+  // members first (degraded_until is already set, so this endpoint no
+  // longer counts as usable). Whatever remains drains via the kernel path.
+  ReturnLocalQueue(ep);
   // Drain the backlog through the kernel path so requests stop waiting on a
   // hot path that is not progressing. New arrivals follow via the
   // degraded_until check in DispatchPrepared until the backoff expires.
@@ -1149,6 +1528,9 @@ void LauberhornNic::DegradeEndpoint(Endpoint& ep) {
   ep.pending.clear();
   for (PreparedRequest& request : backlog) {
     RouteCold(std::move(request));
+  }
+  if (!ep.is_kernel && !ep.is_continuation && ep.in_use) {
+    MaybeDrainCentral(ep.service_id);
   }
 }
 
@@ -1186,6 +1568,10 @@ void LauberhornNic::HandleCtrlPoll(Endpoint& ep, int parity, AgentId requester,
   if (ep.outstanding.has_value() && ep.outstanding->parity != parity) {
     OutstandingRequest done = std::move(*ep.outstanding);
     ep.outstanding.reset();
+    if (done.core >= 0) {
+      // Handler-busy interval for the per-core occupancy metrics (§18).
+      core_stats_[done.core].busy_time += sim_.Now() - done.delivered_at;
+    }
     CollectResponse(ep, std::move(done));
   }
   if (ep.retire_requested) {
@@ -1194,6 +1580,9 @@ void LauberhornNic::HandleCtrlPoll(Endpoint& ep, int parity, AgentId requester,
     FillWaiting(ep, LineKind::kRetire);
     ep.active = false;
     ep.active_core = -1;
+    // A retired core must not keep requests hostage: unspent JBSQ / c-FCFS
+    // credits go back to the central queue for the surviving cores.
+    ReturnLocalQueue(ep);
     MaybeRestartCold(ep);
     return;
   }
@@ -1216,12 +1605,36 @@ void LauberhornNic::HandleCtrlPoll(Endpoint& ep, int parity, AgentId requester,
     // parked core times out with TRYAGAIN; enough of those in a row trips
     // the degradation detector.
     ++stats_.wedged_polls;
-  } else if (!ep.pending.empty()) {
-    PreparedRequest request = std::move(ep.pending.front());
-    ep.pending.pop_front();
-    ++stats_.hot_dispatches;
-    DeliverToWaiting(ep, std::move(request));
-    return;
+  } else {
+    // JBSQ: response collection freed a credit — refill the private runway
+    // from the central queue before serving, so the core stays k-deep.
+    ReplenishJbsq(ep);
+    if (!ep.pending.empty()) {
+      PreparedRequest request = std::move(ep.pending.front());
+      ep.pending.pop_front();
+      ++stats_.hot_dispatches;
+      DeliverToWaiting(ep, std::move(request));
+      return;
+    }
+    if (!ep.is_continuation) {
+      // c-FCFS / JBSQ: an idle parked core pulls the central head directly.
+      auto it = groups_.find(ep.service_id);
+      if (it != groups_.end() && IsCentral(it->second.config) &&
+          !it->second.central.empty() && ep.degraded_until <= sim_.Now()) {
+        DispatchGroup& group = it->second;
+        PreparedRequest request = std::move(group.central.front());
+        group.central.pop_front();
+        if (request.endpoint != ep.id) {
+          ++group.stats.retargets;
+          request.endpoint = ep.id;
+        }
+        ++group.stats.central_pulled;
+        ++stats_.hot_dispatches;
+        DeliverToWaiting(ep, std::move(request));
+        ReplenishJbsq(ep);
+        return;
+      }
+    }
   }
   ArmTryagain(ep);
 }
@@ -1428,6 +1841,79 @@ void LauberhornNic::OnHomeUncachedWrite(AgentId /*from*/, LineAddr addr, size_t 
 
 size_t LauberhornNic::QueueDepth(uint32_t endpoint) const {
   return endpoints_[endpoint].pending.size();
+}
+
+size_t LauberhornNic::DispatchBacklog(uint32_t endpoint) const {
+  const Endpoint& ep = endpoints_[endpoint];
+  size_t depth = ep.pending.size();
+  if (!ep.is_kernel && !ep.is_continuation) {
+    auto it = groups_.find(ep.service_id);
+    if (it != groups_.end() && IsCentral(it->second.config)) {
+      depth += it->second.central.size();
+    }
+  }
+  return depth;
+}
+
+size_t LauberhornNic::CentralQueueDepth(uint32_t service_id) const {
+  auto it = groups_.find(service_id);
+  return it != groups_.end() ? it->second.central.size() : 0;
+}
+
+size_t LauberhornNic::ServiceBacklog(uint32_t service_id) const {
+  size_t depth = CentralQueueDepth(service_id);
+  const ServiceDef* service = services_.Find(service_id);
+  if (service == nullptr) {
+    return depth;
+  }
+  auto it = port_to_endpoints_.find(service->udp_port);
+  if (it == port_to_endpoints_.end()) {
+    return depth;
+  }
+  for (uint32_t id : it->second) {
+    depth += endpoints_[id].pending.size();
+  }
+  return depth;
+}
+
+DispatchPolicyConfig LauberhornNic::ServicePolicy(uint32_t service_id) {
+  const ServiceDef* service = services_.Find(service_id);
+  if (service == nullptr) {
+    return DispatchPolicyConfig{};
+  }
+  auto it = port_to_endpoints_.find(service->udp_port);
+  if (it != port_to_endpoints_.end() && !it->second.empty()) {
+    return EnsureGroup(endpoints_[it->second.front()]).config;
+  }
+  return service->dispatch;
+}
+
+std::vector<std::pair<DispatchPolicyKind, DispatchPolicyStats>>
+LauberhornNic::PolicyStatsSnapshot() const {
+  std::map<DispatchPolicyKind, DispatchPolicyStats> by_kind;
+  for (const auto& [service_id, group] : groups_) {
+    DispatchPolicyStats& agg = by_kind[group.config.kind];
+    agg.hot_dispatches += group.stats.hot_dispatches;
+    agg.local_queued += group.stats.local_queued;
+    agg.central_queued += group.stats.central_queued;
+    agg.central_pulled += group.stats.central_pulled;
+    agg.jbsq_replenished += group.stats.jbsq_replenished;
+    agg.retargets += group.stats.retargets;
+    agg.returned_on_retire += group.stats.returned_on_retire;
+    agg.drained_cold += group.stats.drained_cold;
+  }
+  return {by_kind.begin(), by_kind.end()};
+}
+
+std::map<int, LauberhornNic::CoreOccupancy>
+LauberhornNic::CoreOccupancySnapshot() const {
+  std::map<int, CoreOccupancy> out = core_stats_;
+  for (const Endpoint& ep : endpoints_) {
+    if (ep.in_use && ep.active && ep.active_core >= 0) {
+      out[ep.active_core].queue_depth += ep.pending.size();
+    }
+  }
+  return out;
 }
 
 double LauberhornNic::ArrivalRate(uint32_t endpoint) const {

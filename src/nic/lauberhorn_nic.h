@@ -25,10 +25,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/coherence/interconnect.h"
@@ -36,6 +38,7 @@
 #include "src/net/link.h"
 #include "src/nic/cost_model.h"
 #include "src/nic/dispatch_line.h"
+#include "src/nic/dispatch_policy/dispatch_policy.h"
 #include "src/nic/toeplitz.h"
 #include "src/os/kernel.h"
 #include "src/overload/overload.h"
@@ -129,6 +132,10 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     std::string name;           // tenant label (metrics/debug only)
     AdmissionConfig admission;  // per-VF gate, on top of the per-service one
     size_t endpoint_limit = 0;  // max service endpoints owned; 0 = unlimited
+    // Tenant-default dispatch discipline (§18): applied to the VF's services
+    // whose ServiceDef leaves the policy at kLegacy. A non-legacy ServiceDef
+    // setting always wins (the service owner knows its workload best).
+    std::optional<DispatchPolicyConfig> dispatch;
   };
   struct VfStats {
     uint64_t rx_requests = 0;      // requests demuxed into this VF
@@ -331,6 +338,35 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   TraceRing& trace() { return trace_; }
   // Instantaneous queue depth of an endpoint (NIC-side pending requests).
   size_t QueueDepth(uint32_t endpoint) const;
+  // Policy-aware backlog behind this endpoint: its private queue plus the
+  // service's central queue (c-FCFS / JBSQ). This is the signal the scale
+  // governor consumes — under a central discipline an endpoint's private
+  // queue is empty by design, yet the core is anything but idle.
+  size_t DispatchBacklog(uint32_t endpoint) const;
+  // Aggregate backlog of a whole service: every member endpoint's private
+  // queue plus the central queue, counted once. The cluster least-loaded
+  // probe exports this (plus the cold queue) as the machine's depth.
+  size_t ServiceBacklog(uint32_t service_id) const;
+  // Depth of the service's central queue alone (0 for per-endpoint
+  // disciplines, which never populate it).
+  size_t CentralQueueDepth(uint32_t service_id) const;
+  // Resolved discipline for a service (ServiceDef wins, then the owning
+  // VF's default, then legacy).
+  DispatchPolicyConfig ServicePolicy(uint32_t service_id);
+  // Per-policy counters summed over the services running each discipline,
+  // exported as dispatch/<policy>/* (only disciplines with traffic appear).
+  std::vector<std::pair<DispatchPolicyKind, DispatchPolicyStats>>
+  PolicyStatsSnapshot() const;
+  // Per-core occupancy (§18 satellite): dispatches delivered to the core,
+  // handler-busy nanoseconds, and the instantaneous depth of the private
+  // queues owned by endpoints the core is polling. Keyed by core id;
+  // ordered, so metric export is deterministic.
+  struct CoreOccupancy {
+    uint64_t dispatches = 0;
+    Duration busy_time = 0;  // delivered-to-collected, simulated picoseconds
+    size_t queue_depth = 0;
+  };
+  std::map<int, CoreOccupancy> CoreOccupancySnapshot() const;
   // EWMA arrival rate (requests/s) per endpoint, for the scaling policy.
   double ArrivalRate(uint32_t endpoint) const;
   size_t ColdQueueDepth() const { return cold_queue_.size(); }
@@ -367,6 +403,10 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   struct OutstandingRequest {
     int parity = 0;  // line holding the delivered request / awaited response
     PreparedRequest request;
+    // Core-occupancy accounting (§18): who got the dispatch and when, so
+    // response collection can credit the busy interval to the right core.
+    SimTime delivered_at = 0;
+    int core = -1;
   };
 
   struct Endpoint {
@@ -415,6 +455,17 @@ class LauberhornNic : public HomeAgent, public PacketSink {
     VfConfig config;
     std::optional<TokenBucket> quota;  // built from config.admission
     VfStats stats;
+  };
+
+  // Per-service dispatch-discipline state (§18). The config is *derived*
+  // volatile state: it is re-resolved from the OS's ServiceDef / VfConfig
+  // (both of which survive a crash) on first use, so CrashNow only has to
+  // wipe the queue contents. Counters persist across resets like stats_.
+  struct DispatchGroup {
+    DispatchPolicyConfig config;
+    std::deque<PreparedRequest> central;  // c-FCFS / JBSQ shared queue
+    SojournGate sojourn;                  // CoDel gate over `central`
+    DispatchPolicyStats stats;
   };
 
   // Address decode.
@@ -466,9 +517,50 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // Demux: choose which of a service's endpoints receives this request.
   // Inside a VF (slice endpoints share one vf id per service) the Toeplitz
   // hash of the 4-tuple picks the core, keeping flow affinity; the PF keeps
-  // the legacy stalled-core-first heuristic.
+  // the legacy stalled-core-first heuristic. d-FCFS forces the pure hash
+  // (no migration); central disciplines also hash, but only for arrival
+  // attribution — the real placement happens at dispatch time.
   uint32_t PickEndpoint(const std::vector<uint32_t>& candidates,
                         const Ipv4Header& ip, const UdpHeader& udp);
+  // -- Dispatch disciplines (§18) ------------------------------------------
+  // Lazily resolves the group for ep's service: ServiceDef.dispatch wins,
+  // then the owning VF's default, then legacy.
+  DispatchGroup& EnsureGroup(const Endpoint& ep);
+  // A discipline that routes through the central queue.
+  static bool IsCentral(const DispatchPolicyConfig& config) {
+    return config.kind == DispatchPolicyKind::kCFcfs ||
+           config.kind == DispatchPolicyKind::kJbsq;
+  }
+  // All service endpoints sharing ep's service (the demux candidates).
+  const std::vector<uint32_t>& GroupMembers(const Endpoint& ep);
+  // Requests resident at an endpoint's core: in-flight + private queue.
+  static size_t Resident(const Endpoint& ep) {
+    return (ep.outstanding.has_value() ? 1 : 0) + ep.pending.size();
+  }
+  // True when the endpoint can make forward progress on new work.
+  bool EndpointUsable(const Endpoint& ep) const;
+  // Central-queue admission: VF quota, service quota, then the group's
+  // sojourn gate over the central head. kNone = admit.
+  ShedReason CentralAdmissionCheck(Endpoint& ep, DispatchGroup& group);
+  // c-FCFS / JBSQ dispatch of a prepared request. Returns false (leaving
+  // `request` untouched) when the group has no usable endpoint at all, in
+  // which case the caller falls back to the cold path (which recruits a
+  // core).
+  bool CentralDispatch(Endpoint& ep, DispatchGroup& group,
+                       PreparedRequest& request);
+  // JBSQ credit refill: move central-queue heads into ep's private queue
+  // until the endpoint holds k resident requests.
+  void ReplenishJbsq(Endpoint& ep);
+  // A retired/deactivated core returns its private queue (its unspent JBSQ
+  // credits) to the *front* of the central queue, preserving FCFS order.
+  void ReturnLocalQueue(Endpoint& ep);
+  // When no group endpoint can serve the central queue (all retired or
+  // degraded), its contents drain through the kernel path instead of
+  // stranding behind cores that will never poll again.
+  void MaybeDrainCentral(uint32_t service_id);
+  // Policy-aware backlog test used by the wedge detector: private queue or
+  // (for central disciplines) the service's central queue.
+  bool HasBacklog(Endpoint& ep);
   // After an endpoint loses its core, queued work must not strand: restart
   // via the cold path.
   void MaybeRestartCold(Endpoint& ep);
@@ -527,6 +619,12 @@ class LauberhornNic : public HomeAgent, public PacketSink {
   // ECN-capable senders (src ip -> last request arrival), the denominator of
   // the per-sender grant.
   std::unordered_map<uint32_t, SimTime> cc_senders_;
+  // Dispatch-discipline groups, keyed by service id (§18). Queue contents
+  // are volatile (wiped by CrashNow); counters persist like stats_.
+  std::unordered_map<uint32_t, DispatchGroup> groups_;
+  // Per-core occupancy counters (§18 satellite). Keyed by core id; kept
+  // across NIC resets like the other statistics.
+  std::map<int, CoreOccupancy> core_stats_;
   Stats stats_;
   TraceRing trace_;
 };

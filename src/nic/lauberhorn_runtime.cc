@@ -1,6 +1,7 @@
 #include "src/nic/lauberhorn_runtime.h"
 
 #include <cassert>
+#include <map>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -100,7 +101,10 @@ void LauberhornRuntime::RetireVictim() {
   double lowest_rate = -1.0;
   bool skipped_cooldown = false;
   for (const auto& [id, rt] : endpoints_) {
-    if (!rt->in_loop || rt->stop_requested || nic_.QueueDepth(id) != 0) {
+    // DispatchBacklog, not QueueDepth: under c-FCFS / JBSQ the endpoint's
+    // private queue is empty by design while the service's central queue
+    // holds the real backlog — retiring such a core would strand it (§18).
+    if (!rt->in_loop || rt->stop_requested || nic_.DispatchBacklog(id) != 0) {
       continue;
     }
     if (!governor_.CanChange(id, sim_.Now())) {
@@ -148,7 +152,10 @@ void LauberhornRuntime::PolicyTick() {
   }
   for (const auto& [process, entry] : per_process) {
     const auto& [count, idlest] = entry;
-    const bool below = count > 1 && nic_.QueueDepth(idlest) == 0 &&
+    // The governor consumes the policy's aggregate backlog (§18): a core
+    // only counts as idle when neither its private queue nor the service's
+    // central queue holds work.
+    const bool below = count > 1 && nic_.DispatchBacklog(idlest) == 0 &&
                        nic_.ArrivalRate(idlest) < config_.scale_down_rate_rps;
     // Hysteresis: require `scale_down_ticks` consecutive idle observations,
     // then respect the per-endpoint cooldown, before releasing the core.
@@ -161,6 +168,33 @@ void LauberhornRuntime::PolicyTick() {
     }
     Deschedule(idlest);
     break;  // at most one release per tick
+  }
+  // Scale up (§18): under a central discipline a backlogged service never
+  // spills to the cold path — requests wait in the NIC-side central queue
+  // while any member holds a core — so the legacy recruit trigger (cold
+  // dispatch waking a dispatcher that pins a core) cannot fire. The governor
+  // reads the policy's aggregate backlog instead: a non-empty central queue
+  // recruits the lowest-id parked endpoint, one per service per tick.
+  std::map<uint32_t, uint32_t> recruit;  // service -> lowest parked endpoint
+  for (const auto& [id, rt] : endpoints_) {
+    // stop_requested is deliberately not checked: it stays set on a retired
+    // endpoint (only loop entry clears it), and a completed retire is
+    // exactly the state a recruit reverses. An in-flight retire still has
+    // in_loop set, so it is skipped here.
+    if (rt->in_loop || rt->service == nullptr) {
+      continue;
+    }
+    const uint32_t service_id = rt->service->service_id;
+    if (nic_.CentralQueueDepth(service_id) == 0) {
+      continue;
+    }
+    auto [it, inserted] = recruit.emplace(service_id, id);
+    if (!inserted && id < it->second) {
+      it->second = id;
+    }
+  }
+  for (const auto& [service_id, id] : recruit) {
+    StartUserLoop(id);
   }
   sim_.Schedule(config_.policy_interval, [this]() { PolicyTick(); });
 }
@@ -613,7 +647,7 @@ void LauberhornRuntime::HandleColdDispatch(size_t slot, Core& core,
                                   ++rpcs_cold_;
                                   dispatchers_[slot].armed = false;
                                   kernel_.scheduler().OnWorkDone(core);
-                                  if (nic_.QueueDepth(rt.endpoint) > 0 ||
+                                  if (nic_.DispatchBacklog(rt.endpoint) > 0 ||
                                       nic_.ArrivalRate(rt.endpoint) >
                                           config_.hot_rate_threshold_rps) {
                                     StartUserLoop(rt.endpoint, core.index());
@@ -654,7 +688,9 @@ void LauberhornRuntime::HandleColdDispatch(size_t slot, Core& core,
                // Fig. 5 (1): the core stays with the process in its user-mode
                // loop — but only for endpoints that are actually hot; one-off
                // invocations stay on the cold path (no churn).
-               if (nic_.QueueDepth(rt.endpoint) > 0 ||
+               // DispatchBacklog: central-queue work (c-FCFS / JBSQ) also
+               // justifies keeping the core in the hot loop (§18).
+               if (nic_.DispatchBacklog(rt.endpoint) > 0 ||
                    nic_.ArrivalRate(rt.endpoint) > config_.hot_rate_threshold_rps) {
                  StartUserLoop(rt.endpoint, core.index());
                }

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/nic/dispatch_policy/dispatch_policy.h"
 #include "src/proto/marshal.h"
 #include "src/sim/time.h"
 
@@ -66,6 +67,10 @@ struct ServiceDef {
   uint32_t service_id = 0;
   std::string name;
   uint16_t udp_port = 0;
+  // How the NIC hands this service's requests to cores (DESIGN.md §18).
+  // Control-plane state: lives in the OS registry, so a NIC crash + shadow
+  // replay rebuilds the same discipline (only queue *contents* die).
+  DispatchPolicyConfig dispatch;
   std::map<uint16_t, MethodDef> methods;
 
   const MethodDef* FindMethod(uint16_t method_id) const {

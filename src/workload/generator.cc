@@ -8,6 +8,37 @@
 namespace lauberhorn {
 namespace {
 
+// SplitMix64: the per-request hash behind the deterministic service-time
+// distributions. Statistically strong enough for inverse-CDF draws and a
+// pure function of its input — the whole point (§18).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform in [0, 1) from a hash, using the top 53 bits.
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+uint64_t RequestKey(const std::vector<WireValue>& args) {
+  if (!args.empty() && args[0].bytes.empty()) {
+    return args[0].scalar;  // canonical u64 sequence-number convention
+  }
+  return static_cast<uint64_t>(args.size());
+}
+
+// Input in Duration units (picoseconds); floors at 1 ns so a handler never
+// costs zero simulated time.
+Duration ClampPositive(double duration) {
+  if (duration < static_cast<double>(kNanosecond)) {
+    return Nanoseconds(1);
+  }
+  return static_cast<Duration>(duration);
+}
+
 std::vector<uint8_t> MakePayload(Rng& rng, const WorkloadTarget& target) {
   // Marshalled kBytes argument of the requested size: 4-byte length prefix
   // plus the payload body (the canonical echo-style signature).
@@ -48,6 +79,92 @@ std::vector<uint8_t> MakePayload(Rng& rng, const WorkloadTarget& target) {
 }
 
 }  // namespace
+
+const char* ToString(ServiceTimeDist dist) {
+  switch (dist) {
+    case ServiceTimeDist::kFixed:
+      return "fixed";
+    case ServiceTimeDist::kExponential:
+      return "exponential";
+    case ServiceTimeDist::kBimodal:
+      return "bimodal";
+    case ServiceTimeDist::kBoundedPareto:
+      return "pareto";
+  }
+  return "?";
+}
+
+std::function<Duration(const std::vector<WireValue>&)> MakeServiceTimeFn(
+    const ServiceTimeSpec& spec) {
+  switch (spec.dist) {
+    case ServiceTimeDist::kFixed: {
+      const Duration mean = spec.mean;
+      return [mean](const std::vector<WireValue>&) { return mean; };
+    }
+    case ServiceTimeDist::kExponential: {
+      const double mean = static_cast<double>(spec.mean);
+      const uint64_t seed = spec.seed;
+      return [mean, seed](const std::vector<WireValue>& args) {
+        const double u = HashToUnit(SplitMix64(RequestKey(args) ^ seed));
+        return ClampPositive(-mean * std::log1p(-u));
+      };
+    }
+    case ServiceTimeDist::kBimodal: {
+      const ServiceTimeSpec s = spec;
+      return [s](const std::vector<WireValue>& args) {
+        // Independent hash stream for the mode choice so the heavy set is
+        // uncorrelated with any other per-request draw.
+        const uint64_t h =
+            SplitMix64(RequestKey(args) ^ s.seed ^ 0xb1a0da15a17ed0ddULL);
+        return HashToUnit(h) < s.heavy_fraction ? s.bimodal_long
+                                                : s.bimodal_short;
+      };
+    }
+    case ServiceTimeDist::kBoundedPareto: {
+      const double lo = static_cast<double>(spec.pareto_lo);
+      const double hi = static_cast<double>(spec.pareto_hi);
+      const double alpha = spec.pareto_alpha;
+      const uint64_t seed = spec.seed;
+      return [lo, hi, alpha, seed](const std::vector<WireValue>& args) {
+        const double u = HashToUnit(SplitMix64(RequestKey(args) ^ seed));
+        // Bounded-Pareto inverse CDF on [lo, hi].
+        const double ratio = std::pow(lo / hi, alpha);
+        const double x = lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+        return ClampPositive(x);
+      };
+    }
+  }
+  return [](const std::vector<WireValue>&) { return Microseconds(1); };
+}
+
+Duration ServiceTimeMean(const ServiceTimeSpec& spec) {
+  switch (spec.dist) {
+    case ServiceTimeDist::kFixed:
+    case ServiceTimeDist::kExponential:
+      return spec.mean;
+    case ServiceTimeDist::kBimodal: {
+      const double m =
+          (1.0 - spec.heavy_fraction) * static_cast<double>(spec.bimodal_short) +
+          spec.heavy_fraction * static_cast<double>(spec.bimodal_long);
+      return ClampPositive(m);
+    }
+    case ServiceTimeDist::kBoundedPareto: {
+      const double lo = static_cast<double>(spec.pareto_lo);
+      const double hi = static_cast<double>(spec.pareto_hi);
+      const double a = spec.pareto_alpha;
+      const double ratio = std::pow(lo / hi, a);
+      double m;
+      if (a == 1.0) {
+        m = lo * std::log(hi / lo) / (1.0 - ratio);
+      } else {
+        m = (a / (a - 1.0)) * lo * (1.0 - std::pow(lo / hi, a - 1.0)) /
+            (1.0 - ratio);
+      }
+      return ClampPositive(m);
+    }
+  }
+  return spec.mean;
+}
 
 OpenLoopGenerator::OpenLoopGenerator(Simulator& sim, RpcClient& client,
                                      std::vector<WorkloadTarget> targets, Config config)

@@ -28,6 +28,55 @@ struct WorkloadTarget {
   double weight = 1.0;  // relative popularity
 };
 
+// -- Heavy-tailed service-time distributions (§18, nanoPU-style) ------------
+//
+// The dispatch-discipline experiments need service times whose *dispersion*
+// is the independent variable: exponential (SCV = 1), a 99.5/0.5 bimodal
+// split (most requests are cheap, a rare one is 100-1000x dearer), and a
+// bounded Pareto (continuous heavy tail). MakeServiceTimeFn builds a
+// MethodDef::service_time that is a PURE function of the request content —
+// the first u64 scalar argument hashed with `seed` drives an inverse-CDF
+// draw — so the same request costs the same nanoseconds no matter which
+// policy, core, shard, or retransmit executes it. That keeps policy
+// comparisons apples-to-apples and sharded runs bit-identical.
+
+enum class ServiceTimeDist {
+  kFixed,
+  kExponential,
+  kBimodal,
+  kBoundedPareto,
+};
+
+const char* ToString(ServiceTimeDist dist);
+
+struct ServiceTimeSpec {
+  ServiceTimeDist dist = ServiceTimeDist::kFixed;
+  Duration mean = Microseconds(1);  // kFixed / kExponential
+  // kBimodal: heavy_fraction of requests take `bimodal_long`, the rest
+  // `bimodal_short` (nanoPU's 99.5/0.5 split by default).
+  double heavy_fraction = 0.005;
+  Duration bimodal_short = Microseconds(1);
+  Duration bimodal_long = Microseconds(100);
+  // kBoundedPareto: shape alpha over the support [lo, hi].
+  double pareto_alpha = 1.2;
+  Duration pareto_lo = Nanoseconds(500);
+  Duration pareto_hi = Microseconds(200);
+  // Folded into the hash so distinct services draw decorrelated sequences
+  // from identical request ids.
+  uint64_t seed = 1;
+};
+
+// Deterministic per-request service time (see above). The returned function
+// inspects args[0].scalar when present (the canonical u64 sequence-number
+// convention used by the benches); requests without one fall back to a hash
+// of the argument count, which keeps the function total.
+std::function<Duration(const std::vector<WireValue>&)> MakeServiceTimeFn(
+    const ServiceTimeSpec& spec);
+
+// Analytic mean of the distribution, for offered-load calibration
+// (capacity ≈ cores / mean).
+Duration ServiceTimeMean(const ServiceTimeSpec& spec);
+
 class OpenLoopGenerator {
  public:
   struct Config {
